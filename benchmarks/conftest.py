@@ -1,0 +1,35 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+dataset scale (see DESIGN.md for the substitution rationale) and asserts
+the corresponding *shape* claim — who wins, which variant is best — rather
+than absolute numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def quick_settings() -> ExperimentSettings:
+    """Small-scale settings shared by all benchmark modules."""
+    return ExperimentSettings(
+        datasets=["ethereum-tsgn", "simml"],
+        scale=0.1,
+        seeds=(0,),
+        mhgae_epochs=30,
+        tpgcl_epochs=6,
+        baseline_epochs=25,
+        max_candidates=100,
+    )
+
+
+@pytest.fixture(scope="session")
+def full_dataset_settings() -> ExperimentSettings:
+    """Settings covering all five datasets (used by the cheap table benches)."""
+    return ExperimentSettings(scale=0.1, seeds=(0,))

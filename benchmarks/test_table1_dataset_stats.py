@@ -1,0 +1,20 @@
+"""Benchmark E-T1 — regenerate Table I (dataset statistics)."""
+
+from __future__ import annotations
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1_dataset_statistics(benchmark, full_dataset_settings):
+    records = benchmark.pedantic(run_table1, args=(full_dataset_settings,), rounds=1, iterations=1)
+    print("\n" + render_table1(records))
+
+    assert len(records) == 5
+    by_name = {r["dataset"]: r for r in records}
+    # Shape claims from Table I: AMLPublic is the largest and sparsest graph,
+    # simML has the smallest groups, AMLPublic the largest ones.
+    assert by_name["AMLPublic"]["nodes"] == max(r["nodes"] for r in records)
+    assert by_name["simML"]["avg_group_size"] == min(r["avg_group_size"] for r in records)
+    assert by_name["AMLPublic"]["avg_group_size"] == max(r["avg_group_size"] for r in records)
+    # Attribute dimensionality ordering: citation datasets are the widest.
+    assert by_name["Cora-group"]["attributes"] > by_name["AMLPublic"]["attributes"]

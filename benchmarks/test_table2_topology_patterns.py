@@ -1,0 +1,19 @@
+"""Benchmark E-T2 — regenerate Table II (topology-pattern statistics)."""
+
+from __future__ import annotations
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2_topology_pattern_mix(benchmark, full_dataset_settings):
+    records = benchmark.pedantic(run_table2, args=(full_dataset_settings,), rounds=1, iterations=1)
+    print("\n" + render_table2(records))
+
+    by_name = {r["dataset"]: r for r in records}
+    aml, eth = by_name["AMLPublic"], by_name["Ethereum-TSGN"]
+    # Shape claims from Table II: AMLPublic groups are almost all paths;
+    # Ethereum-TSGN groups are dominated by trees and cycles.
+    assert aml["path"] >= aml["total"] - 1
+    assert aml["cycle"] == 0
+    assert eth["tree"] + eth["cycle"] > eth["path"]
+    assert aml["total"] == aml["path"] + aml["tree"] + aml["cycle"]

@@ -1,0 +1,31 @@
+"""Benchmark E-T3 — regenerate Table III (main CR / F1 / AUC comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import render_table3, run_table3
+
+
+def test_table3_tpgrgad_beats_baselines(benchmark, quick_settings):
+    records = benchmark.pedantic(run_table3, args=(quick_settings,), rounds=1, iterations=1)
+    print("\n" + render_table3(records))
+
+    for dataset in {r["dataset"] for r in records}:
+        rows = [r for r in records if r["dataset"] == dataset]
+        ours = next(r for r in rows if r["method"] == "TP-GrGAD")
+        baselines = [r for r in rows if r["method"] != "TP-GrGAD"]
+        best_baseline_cr = max(r["CR"] for r in baselines)
+        mean_baseline_cr = float(np.mean([r["CR"] for r in baselines]))
+        mean_baseline_auc = float(np.mean([r["AUC"] for r in baselines]))
+
+        # Shape claims from Table III: TP-GrGAD attains the highest CR on
+        # every dataset, by a clear margin over the baseline average, and
+        # beats the baselines' average ranking quality.  (Individual baseline
+        # AUCs can spike to 1.0 at benchmark scale because they emit only a
+        # couple of groups, so the comparison uses the baseline average.)
+        assert ours["CR"] >= best_baseline_cr, f"TP-GrGAD CR not best on {dataset}"
+        assert ours["CR"] >= 1.1 * mean_baseline_cr
+        assert ours["AUC"] >= mean_baseline_auc - 0.05
+        # Baselines sit in the low-CR regime the paper reports (roughly 0.1-0.5).
+        assert mean_baseline_cr < 0.55

@@ -1,0 +1,79 @@
+"""Using TP-GrGAD on your own graph data.
+
+Shows how to build a :class:`repro.graph.Graph` from a plain edge list and
+feature matrix (e.g. loaded from CSV), run the detector, and work with the
+returned groups — the workflow a downstream user would follow on real
+transaction data.
+
+Run with::
+
+    python examples/custom_graph.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.graph import Graph
+
+
+def build_my_graph() -> Graph:
+    """Stand-in for 'load your own data here'.
+
+    We create a small social/transaction network by hand: 60 normal
+    accounts transacting randomly, plus a suspicious 6-account chain whose
+    activity profile differs from everyone else's.
+    """
+    rng = np.random.default_rng(42)
+    n_normal = 60
+    edges = []
+    for node in range(1, n_normal):
+        edges.append((node, int(rng.integers(0, node))))       # connected backbone
+    for _ in range(60):
+        u, v = rng.integers(0, n_normal, size=2)
+        if u != v:
+            edges.append((int(u), int(v)))
+
+    features = rng.normal(loc=1.0, scale=0.3, size=(n_normal, 5))
+
+    # A suspicious chain of 6 new accounts relaying funds to each other.
+    # Each account's activity profile deviates from the norm in its own way
+    # (burst amounts on some channels, dormancy on others).
+    chain = list(range(n_normal, n_normal + 6))
+    chain_edges = list(zip(chain, chain[1:])) + [(chain[0], 3), (chain[-1], 17)]
+    chain_features = 1.0 + rng.choice([-2.0, 2.0], size=(6, 5)) + rng.normal(scale=0.2, size=(6, 5))
+
+    return Graph(
+        n_nodes=n_normal + 6,
+        edges=edges + chain_edges,
+        features=np.vstack([features, chain_features]),
+        name="custom",
+    )
+
+
+def main() -> None:
+    graph = build_my_graph()
+    graph.validate()
+    print(f"Custom graph: {graph.n_nodes} nodes, {graph.n_edges} edges, {graph.n_features} features")
+
+    detector = TPGrGAD(TPGrGADConfig.fast(seed=0))
+    result = detector.fit_detect(graph)
+
+    print(f"\n{result.n_candidates} candidate groups scored; threshold τ = {result.threshold:.3f}")
+    print("Flagged groups (most suspicious first):")
+    for group in sorted(result.anomalous_groups, key=lambda g: -(g.score or 0))[:5]:
+        print(f"  score={group.score:.3f} members={sorted(group.nodes)}")
+
+    suspicious_chain = set(range(60, 66))
+    anchors_in_chain = len(set(int(a) for a in result.anchor_nodes) & suspicious_chain)
+    best_overlap = max(
+        (len(set(group.nodes) & suspicious_chain) for group in result.top_groups(10)),
+        default=0,
+    )
+    print(f"\nAnchor nodes inside the planted 6-account chain: {anchors_in_chain}/6")
+    print(f"Best overlap between a top-10 group and the chain: {best_overlap}/6 accounts recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Money-laundering group detection on an AMLSim-style transaction graph.
+
+This is the scenario motivating the paper: laundering rings (fan-in /
+fan-out, cycles, layered chains) hidden inside a sparse transaction graph.
+The script runs TP-GrGAD and the DOMINANT baseline side by side and shows
+why node-level detection fragments the rings while group-level detection
+recovers them whole.
+
+Run with::
+
+    python examples/money_laundering_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BaselineConfig, Dominant
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets import make_simml
+from repro.viz import format_table
+
+
+def main() -> None:
+    graph = make_simml(scale=0.15, seed=3)
+    print(f"simML transaction graph: {graph.n_nodes} accounts, {graph.n_edges} transactions")
+    print(f"Planted laundering rings: {graph.n_groups} (avg size {graph.average_group_size():.1f})")
+    typologies = {}
+    for group in graph.groups:
+        typologies[group.label] = typologies.get(group.label, 0) + 1
+    print(f"Ring topologies: {typologies}\n")
+
+    print("Running TP-GrGAD...")
+    ours = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(graph)
+    ours_report = ours.evaluate(graph)
+
+    print("Running DOMINANT (node-level baseline, grouped by connected components)...")
+    baseline = Dominant(BaselineConfig(epochs=40, seed=1)).fit_detect(graph)
+    baseline_report = baseline.evaluate(graph)
+
+    print("\n" + format_table(
+        ["method", "CR", "F1", "AUC", "flagged groups", "avg group size"],
+        [
+            ["TP-GrGAD", ours_report.cr, ours_report.f1, ours_report.auc, ours.n_anomalous, ours.average_anomalous_size()],
+            ["DOMINANT", baseline_report.cr, baseline_report.f1, baseline_report.auc, baseline.n_anomalous, baseline.average_anomalous_size()],
+            ["ground truth", 1.0, 1.0, 1.0, graph.n_groups, graph.average_group_size()],
+        ],
+        title="Laundering-ring detection comparison",
+    ))
+
+    print("\nHighest-scoring laundering ring candidates (TP-GrGAD):")
+    for group in ours.top_groups(3):
+        print(f"  score={group.score:.3f} accounts={sorted(group.nodes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Phishing-group detection on an Ethereum-TSGN-style transaction graph.
+
+Phishing rings in Ethereum show up as trees (one scammer fanning out to
+victims) and cycles (wash-trading style loops).  The script inspects the
+topology patterns of the detected groups and compares them with the
+ground-truth pattern mix (Table II of the paper).
+
+Run with::
+
+    python examples/phishing_detection.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.augment import classify_group_pattern
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets import make_ethereum_tsgn
+from repro.viz import format_table
+
+
+def main() -> None:
+    graph = make_ethereum_tsgn(scale=0.2, seed=5)
+    print(f"Ethereum transaction graph: {graph.n_nodes} accounts, {graph.n_edges} transactions")
+    truth_patterns = Counter(classify_group_pattern(graph.group_subgraph(g)) for g in graph.groups)
+    print(f"Ground-truth phishing groups: {graph.n_groups}, pattern mix {dict(truth_patterns)}\n")
+
+    detector = TPGrGAD(TPGrGADConfig.fast(seed=2))
+    result = detector.fit_detect(graph)
+    report = result.evaluate(graph)
+
+    detected_patterns = Counter(
+        classify_group_pattern(graph.group_subgraph(group)) for group in result.anomalous_groups
+    )
+
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["candidate groups", result.n_candidates],
+            ["flagged groups", result.n_anomalous],
+            ["Completeness Ratio", report.cr],
+            ["group F1", report.f1],
+            ["group AUC", report.auc],
+        ],
+        title="Phishing-group detection (TP-GrGAD)",
+    ))
+    print(f"\nPattern mix of flagged groups:  {dict(detected_patterns)}")
+    print(f"Pattern mix of true groups:     {dict(truth_patterns)}")
+    print("\nTrees and cycles dominating both mixes mirrors Table II of the paper.")
+
+
+if __name__ == "__main__":
+    main()

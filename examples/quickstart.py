@@ -1,0 +1,45 @@
+"""Quickstart: detect anomaly groups in a small attributed graph.
+
+Runs the full TP-GrGAD pipeline (MH-GAE anchor localization, candidate
+group sampling, TPGCL contrastive embedding, ECOD scoring) on the paper's
+illustrative example graph and prints the detected groups next to the
+planted ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets import make_example_graph
+
+
+def main() -> None:
+    graph = make_example_graph(seed=7)
+    print(f"Graph: {graph.n_nodes} nodes, {graph.n_edges} edges, "
+          f"{graph.n_groups} planted anomaly groups (avg size {graph.average_group_size():.1f})")
+
+    detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+    result = detector.fit_detect(graph)
+
+    print(f"\nAnchor nodes selected: {len(result.anchor_nodes)}")
+    print(f"Candidate groups sampled: {result.n_candidates}")
+    print(f"Groups flagged as anomalous (score >= {result.threshold:.3f}): {result.n_anomalous}")
+
+    print("\nTop 5 groups by anomaly score:")
+    for group in result.top_groups(5):
+        members = ", ".join(str(node) for node in sorted(group.nodes)[:8])
+        suffix = "..." if len(group) > 8 else ""
+        print(f"  score={group.score:.3f} size={len(group):2d} nodes=[{members}{suffix}]")
+
+    report = result.evaluate(graph)
+    print("\nEvaluation against the planted groups:")
+    print(f"  Completeness Ratio (CR): {report.cr:.2f}")
+    print(f"  Group-level F1:          {report.f1:.2f}")
+    print(f"  Group-level AUC:         {report.auc:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim so `pip install -e .` / `setup.py develop` work with older toolchains."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""TP-GrGAD: Topology Pattern Enhanced Unsupervised Group-level Graph Anomaly Detection.
+
+A pure-Python (numpy / scipy / networkx) reproduction of the ICDE 2024 paper
+*"Graph Anomaly Detection at Group Level: A Topology Pattern Enhanced
+Unsupervised Approach"*.
+
+The package is organised around the three stages of the framework:
+
+1. **Anchor node localization** — :mod:`repro.gae` (Multi-Hop Graph
+   AutoEncoder, MH-GAE).
+2. **Candidate group sampling** — :mod:`repro.sampling` (path / tree / cycle
+   searches from anchor nodes, Algorithm 1 of the paper).
+3. **Candidate group discrimination** — :mod:`repro.gcl` (Topology
+   Pattern-based Graph Contrastive Learning, TPGCL) followed by the
+   unsupervised outlier detectors in :mod:`repro.outlier`.
+
+The end-to-end detector is :class:`repro.core.TPGrGAD`.  Baselines from the
+paper's evaluation (DOMINANT, DeepAE, ComGA, ONE, DeepFD, AS-GAE) live in
+:mod:`repro.baselines`, datasets in :mod:`repro.datasets`, and the
+experiment harness that regenerates every table and figure in
+:mod:`repro.experiments`.
+"""
+
+__version__ = "1.0.0"
+
+# Public names are imported lazily (PEP 562) so that importing ``repro``
+# stays cheap and sub-packages can be used independently.
+_LAZY_ATTRS = {
+    "TPGrGAD": ("repro.core", "TPGrGAD"),
+    "TPGrGADConfig": ("repro.core", "TPGrGADConfig"),
+    "GroupDetectionResult": ("repro.core", "GroupDetectionResult"),
+    "Graph": ("repro.graph", "Graph"),
+    "completeness_ratio": ("repro.metrics", "completeness_ratio"),
+    "group_f1_score": ("repro.metrics", "group_f1_score"),
+    "group_auc": ("repro.metrics", "group_auc"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY_ATTRS:
+        import importlib
+
+        module_name, attr = _LAZY_ATTRS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")
+
+__all__ = [
+    "TPGrGAD",
+    "TPGrGADConfig",
+    "GroupDetectionResult",
+    "Graph",
+    "completeness_ratio",
+    "group_f1_score",
+    "group_auc",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Topology-pattern-aware augmentations (Algorithm 2 of the paper).
+
+:func:`find_topology_patterns` locates trees, paths and cycles inside a
+candidate group.  :class:`PatternPreservingAugmentation` (PPA) extends those
+patterns (positive view) while :class:`PatternBreakingAugmentation` (PBA)
+destroys them (negative view).  The classic baselines — node dropping,
+edge removing and feature masking — are provided for the Fig. 6 ablation.
+"""
+
+from repro.augment.patterns import TopologyPatterns, find_topology_patterns, classify_group_pattern
+from repro.augment.topology import (
+    Augmentation,
+    PatternPreservingAugmentation,
+    PatternBreakingAugmentation,
+)
+from repro.augment.baseline import NodeDropping, EdgeRemoving, FeatureMasking, get_augmentation
+
+__all__ = [
+    "TopologyPatterns",
+    "find_topology_patterns",
+    "classify_group_pattern",
+    "Augmentation",
+    "PatternPreservingAugmentation",
+    "PatternBreakingAugmentation",
+    "NodeDropping",
+    "EdgeRemoving",
+    "FeatureMasking",
+    "get_augmentation",
+]

@@ -1,0 +1,134 @@
+"""Topology-pattern searching inside candidate groups (Alg. 2, line 4).
+
+Given the induced subgraph of a candidate group, :func:`find_topology_patterns`
+returns the trees, paths and cycles it contains — the three basic pattern
+classes the paper builds on (triangles, diamonds and stars being special
+cases of cycles and trees).  :func:`classify_group_pattern` assigns a single
+dominant pattern to a group, which is what the Table II statistics report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.graph import Graph, graph_to_networkx
+
+
+@dataclass
+class TopologyPatterns:
+    """Patterns discovered inside one candidate group.
+
+    ``trees`` are stored as (root, nodes) pairs, ``paths`` as node sequences
+    (endpoint to endpoint), ``cycles`` as node sequences around the loop.
+    All node indices are local to the group's induced subgraph.
+    """
+
+    trees: List[dict] = field(default_factory=list)
+    paths: List[List[int]] = field(default_factory=list)
+    cycles: List[List[int]] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.trees or self.paths or self.cycles)
+
+    def counts(self) -> dict:
+        return {"tree": len(self.trees), "path": len(self.paths), "cycle": len(self.cycles)}
+
+
+def _longest_path_in_tree(component: nx.Graph) -> List[int]:
+    """Diameter path of an acyclic component (double-BFS trick)."""
+    start = next(iter(component.nodes))
+    lengths = nx.single_source_shortest_path_length(component, start)
+    far = max(lengths, key=lengths.get)
+    paths = nx.single_source_shortest_path(component, far)
+    lengths = {node: len(p) for node, p in paths.items()}
+    other = max(lengths, key=lengths.get)
+    return paths[other]
+
+
+def find_topology_patterns(group_graph: Graph, max_patterns_per_kind: int = 4) -> TopologyPatterns:
+    """Locate tree / path / cycle patterns inside a candidate-group subgraph.
+
+    Parameters
+    ----------
+    group_graph:
+        The induced subgraph of the candidate group (local node indices).
+    max_patterns_per_kind:
+        Cap on the number of patterns reported per kind, keeping the
+        augmentation cost bounded for dense groups.
+    """
+    patterns = TopologyPatterns()
+    nx_graph = graph_to_networkx(group_graph)
+
+    # Cycles: cycle basis gives one representative per independent cycle.
+    for cycle in nx.cycle_basis(nx_graph):
+        if len(cycle) >= 3:
+            patterns.cycles.append([int(n) for n in cycle])
+        if len(patterns.cycles) >= max_patterns_per_kind:
+            break
+
+    for component_nodes in nx.connected_components(nx_graph):
+        if len(patterns.paths) >= max_patterns_per_kind and len(patterns.trees) >= max_patterns_per_kind:
+            break
+        component = nx_graph.subgraph(component_nodes)
+        n, m = component.number_of_nodes(), component.number_of_edges()
+        if n < 2:
+            continue
+
+        degrees = dict(component.degree())
+        max_degree = max(degrees.values())
+        is_acyclic = m == n - 1
+
+        # Path pattern: the longest simple chain in the component.
+        if is_acyclic:
+            path = _longest_path_in_tree(component)
+        else:
+            # For cyclic components take a shortest path between two far-apart nodes.
+            spanning = nx.minimum_spanning_tree(component)
+            path = _longest_path_in_tree(spanning)
+        if len(path) >= 3 and len(patterns.paths) < max_patterns_per_kind:
+            patterns.paths.append([int(p) for p in path])
+
+        # Tree pattern: acyclic component with branching (a pure chain is a
+        # path, not a tree in the paper's taxonomy).
+        if is_acyclic and max_degree >= 3 and len(patterns.trees) < max_patterns_per_kind:
+            root = max(degrees, key=degrees.get)
+            patterns.trees.append(
+                {
+                    "root": int(root),
+                    "nodes": [int(v) for v in component.nodes],
+                    "children": [int(v) for v in component.neighbors(root)],
+                }
+            )
+    return patterns
+
+
+def classify_group_pattern(group_graph: Graph) -> str:
+    """Dominant topology pattern of a group: ``"cycle"``, ``"tree"`` or ``"path"``.
+
+    The precedence (cycle > tree > path) matches how the paper tallies
+    Table II: any group containing a cycle is cyclic; otherwise branching
+    structures are trees; pure chains are paths.
+    """
+    nx_graph = graph_to_networkx(group_graph)
+    if nx_graph.number_of_nodes() == 0:
+        return "path"
+    if nx.cycle_basis(nx_graph):
+        return "cycle"
+    degrees = [d for _, d in nx_graph.degree()]
+    if degrees and max(degrees) >= 3:
+        return "tree"
+    return "path"
+
+
+def pattern_statistics(graph: Graph, groups: Optional[list] = None) -> dict:
+    """Count dominant patterns over a dataset's ground-truth groups (Table II)."""
+    groups = list(graph.groups if groups is None else groups)
+    counts = {"path": 0, "tree": 0, "cycle": 0}
+    for group in groups:
+        counts[classify_group_pattern(graph.group_subgraph(group))] += 1
+    counts["total"] = len(groups)
+    return counts

@@ -1,0 +1,34 @@
+"""Baseline detectors used in the paper's evaluation (Sec. VII-A3).
+
+Node-level (N-GAD) baselines — DOMINANT, DeepAE, ComGA, ONE — produce
+per-node anomaly scores; they are generalised to the Gr-GAD task in the
+style of AS-GAE: the top-scoring nodes are grouped by connected-component
+detection and each component becomes a predicted group whose score is the
+mean of its node scores.
+
+Subgraph-level (Sub-GAD) baselines — DeepFD and AS-GAE — follow their
+original two-stage designs (node scoring followed by clustering /
+connected-component extraction).
+"""
+
+from repro.baselines.base import NodeScoringBaseline, BaselineConfig
+from repro.baselines.dominant import Dominant
+from repro.baselines.deepae import DeepAE
+from repro.baselines.comga import ComGA
+from repro.baselines.one import ONE
+from repro.baselines.deepfd import DeepFD
+from repro.baselines.asgae import ASGAE
+from repro.baselines.registry import get_baseline, available_baselines
+
+__all__ = [
+    "NodeScoringBaseline",
+    "BaselineConfig",
+    "Dominant",
+    "DeepAE",
+    "ComGA",
+    "ONE",
+    "DeepFD",
+    "ASGAE",
+    "get_baseline",
+    "available_baselines",
+]

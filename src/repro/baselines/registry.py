@@ -1,0 +1,38 @@
+"""Name-based construction of baseline detectors (used by the experiment harness)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.asgae import ASGAE
+from repro.baselines.base import BaselineConfig, NodeScoringBaseline
+from repro.baselines.comga import ComGA
+from repro.baselines.deepae import DeepAE
+from repro.baselines.deepfd import DeepFD
+from repro.baselines.dominant import Dominant
+from repro.baselines.one import ONE
+
+_FACTORIES: Dict[str, Callable[..., NodeScoringBaseline]] = {
+    "dominant": Dominant,
+    "deepae": DeepAE,
+    "comga": ComGA,
+    "one": ONE,
+    "deepfd": DeepFD,
+    "as-gae": ASGAE,
+}
+
+_ALIASES = {"asgae": "as-gae"}
+
+
+def available_baselines() -> List[str]:
+    """Names accepted by :func:`get_baseline`."""
+    return sorted(_FACTORIES)
+
+
+def get_baseline(name: str, config: Optional[BaselineConfig] = None) -> NodeScoringBaseline:
+    """Instantiate a baseline by name (case insensitive)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown baseline '{name}'; available: {available_baselines()}")
+    return _FACTORIES[key](config)

@@ -1,0 +1,7 @@
+"""The end-to-end TP-GrGAD detector (Fig. 2 of the paper)."""
+
+from repro.core.config import TPGrGADConfig
+from repro.core.result import GroupDetectionResult
+from repro.core.pipeline import TPGrGAD
+
+__all__ = ["TPGrGAD", "TPGrGADConfig", "GroupDetectionResult"]

@@ -1,0 +1,81 @@
+"""Result container returned by TP-GrGAD and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import Graph, Group
+from repro.metrics import EvaluationReport, evaluate_detection
+
+
+@dataclass
+class GroupDetectionResult:
+    """Everything a Gr-GAD detector produces for one graph.
+
+    Attributes
+    ----------
+    candidate_groups:
+        All scored candidate groups (``C`` in Definition 1).
+    scores:
+        Anomaly score per candidate group (``S`` in Definition 1).
+    threshold:
+        The score threshold τ actually used to flag anomalous groups.
+    anomalous_groups:
+        The candidates whose score exceeds τ, each carrying its score.
+    anchor_nodes:
+        Anchor nodes chosen by the localization stage (empty for baselines
+        that do not use anchors).
+    embeddings:
+        Group embeddings used for scoring (None for detectors that score
+        groups directly).
+    node_scores:
+        Per-node anomaly scores of the localization stage, when available.
+    """
+
+    candidate_groups: List[Group]
+    scores: np.ndarray
+    threshold: float
+    anomalous_groups: List[Group]
+    anchor_nodes: np.ndarray = field(default_factory=lambda: np.array([], dtype=int))
+    embeddings: Optional[np.ndarray] = None
+    node_scores: Optional[np.ndarray] = None
+    method: str = "TP-GrGAD"
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        if len(self.candidate_groups) != len(self.scores):
+            raise ValueError("one score per candidate group is required")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidate_groups)
+
+    @property
+    def n_anomalous(self) -> int:
+        return len(self.anomalous_groups)
+
+    def average_anomalous_size(self) -> float:
+        """Mean node count of the flagged groups (the Fig. 5 statistic)."""
+        if not self.anomalous_groups:
+            return 0.0
+        return float(np.mean([len(g) for g in self.anomalous_groups]))
+
+    def top_groups(self, k: int) -> List[Group]:
+        """The ``k`` highest-scoring candidate groups (scores attached)."""
+        order = np.argsort(-self.scores)[: max(0, int(k))]
+        return [self.candidate_groups[i].with_score(float(self.scores[i])) for i in order]
+
+    def evaluate(self, graph: Graph, truth_groups: Optional[Sequence[Group]] = None) -> EvaluationReport:
+        """Score this result against the graph's ground-truth groups."""
+        truth = list(truth_groups if truth_groups is not None else graph.groups)
+        return evaluate_detection(
+            predicted_groups=self.candidate_groups,
+            scores=self.scores,
+            truth_groups=truth,
+            anomalous_groups=self.anomalous_groups,
+            threshold=self.threshold,
+        )

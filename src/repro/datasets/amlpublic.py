@@ -1,0 +1,98 @@
+"""AMLPublic: a bank-transaction graph with path-shaped laundering groups.
+
+The original dataset (90,000 bank accounts, cleaned to 16,720 nodes and
+17,238 edges with 16 attributes) is a public GitHub CSV that is not
+reachable offline, so this module generates a graph matching its published
+statistics.  The defining characteristic relevant to the paper is its
+topology-pattern mix (Table II): 18 of the 19 anomaly groups are *paths*
+(layered laundering flows) and one is a tree, with a large average group
+size of ≈ 19 nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.background import random_transaction_background
+from repro.datasets.injection import assign_group_features
+from repro.graph import Graph, Group
+
+
+def make_amlpublic(scale: float = 1.0, seed: int = 0, n_features: int = 16) -> Graph:
+    """Generate the AMLPublic-like dataset.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the published size.  ``scale=1.0`` yields ≈16.7k nodes;
+        tests and benchmarks use ``scale≈0.05-0.2``.
+    seed:
+        Random seed.
+    n_features:
+        Number of account attributes (the original has 16).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+
+    n_groups = max(3, int(round(19 * scale ** 0.5)))  # keep several groups even when heavily scaled
+    # Published average group size is 19.05: long layered chains.
+    group_sizes = np.clip(rng.normal(loc=19.0, scale=4.0, size=n_groups), 6, 30).astype(int)
+    # At small scales shrink chains so groups do not dominate the graph.
+    if scale < 0.5:
+        group_sizes = np.clip((group_sizes * max(scale * 2.0, 0.4)).astype(int), 5, None)
+    n_anomaly_nodes = int(group_sizes.sum())
+
+    n_nodes_total = max(150, int(round(16720 * scale)))
+    n_background = max(100, n_nodes_total - n_anomaly_nodes)
+    # The published graph is extremely sparse (avg degree ≈ 2).
+    n_edges_background = max(n_background - 1, int(round(17238 * scale)) - n_anomaly_nodes)
+
+    background = random_transaction_background(
+        n_background, n_edges_background, n_features, rng, name="AMLPublic-background"
+    )
+
+    new_features: List[np.ndarray] = []
+    new_edges: List[Tuple[int, int]] = []
+    groups: List[Group] = []
+    next_id = n_background
+
+    for index, size in enumerate(group_sizes):
+        size = int(size)
+        pattern = "tree" if index == n_groups - 1 else "path"  # Table II: 18 paths, 1 tree
+        node_ids = list(range(next_id, next_id + size))
+        next_id += size
+
+        if pattern == "path":
+            internal = list(zip(node_ids, node_ids[1:]))
+        else:
+            internal = []
+            for i in range(1, size):
+                parent = node_ids[int(rng.integers(0, i))]
+                internal.append((parent, node_ids[i]))
+
+        # The chain touches the legitimate economy at its two ends.
+        attachment_members = [node_ids[0], node_ids[-1]]
+        attachment_edges = [(member, int(rng.integers(0, n_background))) for member in attachment_members]
+
+        anchor = int(rng.integers(0, n_background))
+        new_features.append(
+            assign_group_features(
+                node_ids,
+                internal,
+                attachment_members,
+                background.features[anchor],
+                rng,
+                attribute_shift=1.2,
+                attribute_noise=0.15,
+            )
+        )
+
+        new_edges.extend(internal)
+        new_edges.extend(attachment_edges)
+        groups.append(Group(nodes=frozenset(node_ids), edges=frozenset(internal), label=pattern))
+
+    grown = background.add_nodes_and_edges(np.vstack(new_features), new_edges, name="AMLPublic")
+    return grown.with_groups(groups)

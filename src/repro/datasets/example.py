@@ -1,0 +1,40 @@
+"""The illustrative example graph of Fig. 3 / Fig. 8 of the paper.
+
+A small community graph containing three planted anomaly groups (a path, a
+tree and a cycle).  It is used to demonstrate qualitatively that vanilla
+GAE-based detectors (DOMINANT, DeepAE, ComGA) miss nodes deep inside the
+groups, while MH-GAE recovers whole groups — the comparison reproduced by
+the Figure 8 experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.background import sbm_citation_background
+from repro.datasets.injection import GroupSpec, inject_groups
+from repro.graph import Graph
+
+
+def make_example_graph(seed: int = 7, n_background: int = 90, n_features: int = 12) -> Graph:
+    """Build the Fig. 3 / Fig. 8 style example graph.
+
+    Three anomaly groups are planted: a 7-node path, a 7-node tree and a
+    6-node cycle.  Group members share shifted attributes so their interiors
+    look locally consistent but globally anomalous.
+    """
+    rng = np.random.default_rng(seed)
+    background = sbm_citation_background(
+        n_nodes=n_background,
+        n_communities=3,
+        avg_degree=4.0,
+        n_features=n_features,
+        rng=rng,
+        name="example-background",
+    )
+    specs = [
+        GroupSpec(pattern="path", size=7, attribute_shift=1.0, attribute_noise=0.08, n_attachments=2),
+        GroupSpec(pattern="tree", size=7, attribute_shift=1.0, attribute_noise=0.08, n_attachments=2),
+        GroupSpec(pattern="cycle", size=6, attribute_shift=1.0, attribute_noise=0.08, n_attachments=2),
+    ]
+    return inject_groups(background, specs, rng, name="example")

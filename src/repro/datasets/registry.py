@@ -1,0 +1,61 @@
+"""Dataset registry: name-based loading for experiments and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.amlpublic import make_amlpublic
+from repro.datasets.amlsim import make_simml
+from repro.datasets.citation import make_citeseer_group, make_cora_group
+from repro.datasets.ethereum import make_ethereum_tsgn
+from repro.datasets.example import make_example_graph
+from repro.graph import Graph
+
+DATASET_LOADERS: Dict[str, Callable[..., Graph]] = {
+    "simml": make_simml,
+    "cora-group": make_cora_group,
+    "citeseer-group": make_citeseer_group,
+    "amlpublic": make_amlpublic,
+    "ethereum-tsgn": make_ethereum_tsgn,
+}
+
+# Aliases matching the paper's abbreviations.
+_ALIASES = {
+    "simml": "simml",
+    "cora-g": "cora-group",
+    "cora_group": "cora-group",
+    "citeseer-g": "citeseer-group",
+    "citeseer_group": "citeseer-group",
+    "amlp": "amlpublic",
+    "eth": "ethereum-tsgn",
+    "ethereum": "ethereum-tsgn",
+    "example": "example",
+}
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset` (canonical names only)."""
+    return sorted(DATASET_LOADERS) + ["example"]
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0, **kwargs) -> Graph:
+    """Load a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        Canonical dataset name or paper abbreviation (``simML``, ``Cora-g``,
+        ``CiteSeer-g``, ``AMLP``, ``Eth``, ``example``).
+    scale:
+        Size fraction relative to the published statistics; ignored by the
+        ``example`` graph.
+    seed:
+        Random seed forwarded to the generator.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key == "example":
+        return make_example_graph(seed=seed, **kwargs)
+    if key not in DATASET_LOADERS:
+        raise KeyError(f"unknown dataset '{name}'; available: {available_datasets()}")
+    return DATASET_LOADERS[key](scale=scale, seed=seed, **kwargs)

@@ -1,0 +1,58 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain-Python data
+(rows / series) plus a ``render_*`` helper that formats the result the way
+the paper presents it.  The CLI entry point is::
+
+    python -m repro.experiments <table1|table2|table3|table4|table5|figure5|figure6|figure7|figure8>
+
+All experiments accept an :class:`ExperimentSettings` controlling dataset
+scale, the number of random seeds, and per-stage epoch budgets, so the same
+code path powers quick benchmark runs and fuller reproductions.
+"""
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.table2 import run_table2, render_table2
+from repro.experiments.table3 import run_table3, render_table3
+from repro.experiments.table4 import run_table4, render_table4
+from repro.experiments.table5 import run_table5, render_table5
+from repro.experiments.figure5 import run_figure5, render_figure5
+from repro.experiments.figure6 import run_figure6, render_figure6
+from repro.experiments.figure7 import run_figure7, render_figure7
+from repro.experiments.figure8 import run_figure8, render_figure8
+
+EXPERIMENTS = {
+    "table1": (run_table1, render_table1),
+    "table2": (run_table2, render_table2),
+    "table3": (run_table3, render_table3),
+    "table4": (run_table4, render_table4),
+    "table5": (run_table5, render_table5),
+    "figure5": (run_figure5, render_figure5),
+    "figure6": (run_figure6, render_figure6),
+    "figure7": (run_figure7, render_figure7),
+    "figure8": (run_figure8, render_figure8),
+}
+
+__all__ = [
+    "ExperimentSettings",
+    "EXPERIMENTS",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+]

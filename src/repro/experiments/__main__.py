@@ -1,0 +1,50 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment> [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, ExperimentSettings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the TP-GrGAD paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"], help="which artefact to regenerate")
+    parser.add_argument("--scale", type=float, default=0.12, help="dataset scale relative to the published sizes")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2], help="random seeds to average over")
+    parser.add_argument("--datasets", type=str, nargs="+", default=None, help="subset of datasets to run")
+    parser.add_argument("--mhgae-epochs", type=int, default=50)
+    parser.add_argument("--tpgcl-epochs", type=int, default=10)
+    parser.add_argument("--baseline-epochs", type=int, default=40)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = ExperimentSettings(
+        scale=args.scale,
+        seeds=tuple(args.seeds),
+        mhgae_epochs=args.mhgae_epochs,
+        tpgcl_epochs=args.tpgcl_epochs,
+        baseline_epochs=args.baseline_epochs,
+    )
+    if args.datasets:
+        settings.datasets = list(args.datasets)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, renderer = EXPERIMENTS[name]
+        start = time.time()
+        records = runner(settings)
+        print(renderer(records))
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Figures 3 & 8 — GAE variants on the illustrative example graph.
+
+DOMINANT, DeepAE and ComGA are run on the example graph with three planted
+anomaly groups, alongside MH-GAE.  For every method the experiment records
+which group members appear among the top-scoring nodes, separating boundary
+members (detectable from one-hop inconsistency) from deep members (only
+detectable through long-range inconsistency).  The expected shape: the
+N-GAD baselines recover mostly boundary members while MH-GAE recovers whole
+groups including the deep members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import BaselineConfig, ComGA, DeepAE, Dominant
+from repro.datasets import make_example_graph
+from repro.experiments.settings import ExperimentSettings
+from repro.gae import MHGAEConfig, MultiHopGAE
+from repro.graph import Graph
+from repro.viz import format_table
+
+
+def deep_member_mask(graph: Graph) -> np.ndarray:
+    """Group members whose every neighbour is also a group member."""
+    truth = graph.anomaly_node_mask()
+    deep = np.zeros(graph.n_nodes, dtype=bool)
+    for node in range(graph.n_nodes):
+        if truth[node] and all(truth[neighbor] for neighbor in graph.neighbors(node)):
+            deep[node] = True
+    return deep
+
+
+def run_figure8(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]]:
+    """Node-level recall (overall / boundary / deep) of each GAE variant."""
+    settings = settings or ExperimentSettings()
+    seed = settings.seeds[0]
+    graph = make_example_graph(seed=7)
+    truth = graph.anomaly_node_mask()
+    deep = deep_member_mask(graph)
+    boundary = truth & ~deep
+    k = int(truth.sum())
+
+    methods: List[Dict[str, object]] = []
+    baseline_config = BaselineConfig(epochs=settings.baseline_epochs, seed=seed)
+    scorers = {
+        "DOMINANT": lambda: Dominant(baseline_config).node_scores(graph),
+        "DeepAE": lambda: DeepAE(baseline_config).node_scores(graph),
+        "ComGA": lambda: ComGA(baseline_config).node_scores(graph),
+        "MH-GAE": lambda: MultiHopGAE(
+            MHGAEConfig(epochs=settings.mhgae_epochs, hidden_dim=32, embedding_dim=16, seed=seed)
+        ).fit(graph).score_nodes(),
+    }
+    for name, scorer in scorers.items():
+        scores = np.asarray(scorer(), dtype=np.float64)
+        top = np.zeros(graph.n_nodes, dtype=bool)
+        top[np.argsort(-scores)[:k]] = True
+        methods.append(
+            {
+                "method": name,
+                "detected": int((top & truth).sum()),
+                "total_members": k,
+                "recall": float((top & truth).sum() / k),
+                "boundary_recall": float((top & boundary).sum() / max(boundary.sum(), 1)),
+                "deep_recall": float((top & deep).sum() / max(deep.sum(), 1)),
+                "detected_nodes": sorted(int(i) for i in np.flatnonzero(top & truth)),
+            }
+        )
+    return methods
+
+
+def render_figure8(records: List[Dict[str, object]]) -> str:
+    """Render the Fig. 8 comparison as ASCII."""
+    rows = [
+        [r["method"], r["detected"], r["total_members"], r["recall"], r["boundary_recall"], r["deep_recall"]]
+        for r in records
+    ]
+    return format_table(
+        ["method", "detected", "members", "recall", "boundary recall", "deep recall"],
+        rows,
+        title="Figure 8 — group-member recovery on the example graph",
+    )

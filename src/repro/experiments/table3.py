@@ -1,0 +1,106 @@
+"""Table III — CR / F1 / AUC of every method on every dataset.
+
+The main comparison of the paper: the five baselines plus TP-GrGAD,
+evaluated with the three group-level metrics, mean ± standard error over
+the configured seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import get_baseline
+from repro.core import TPGrGAD
+from repro.experiments.settings import BASELINE_NAMES, ExperimentSettings
+from repro.viz import format_table
+
+# Published Table III numbers for the proposed method, used in EXPERIMENTS.md
+# to compare shapes (baseline rows omitted here for brevity; the full table
+# lives in the paper and in EXPERIMENTS.md).
+PAPER_TPGRGAD: Dict[str, Dict[str, float]] = {
+    "Ethereum-TSGN": {"CR": 0.81, "F1": 0.73, "AUC": 0.86},
+    "AMLPublic": {"CR": 0.89, "F1": 0.90, "AUC": 0.85},
+    "simML": {"CR": 0.84, "F1": 0.76, "AUC": 0.84},
+    "Cora-group": {"CR": 0.93, "F1": 0.75, "AUC": 0.73},
+    "CiteSeer-group": {"CR": 0.72, "F1": 0.85, "AUC": 0.87},
+}
+
+
+def _aggregate(values: List[float]) -> Dict[str, float]:
+    array = np.asarray(values, dtype=np.float64)
+    standard_error = float(array.std(ddof=1) / np.sqrt(len(array))) if len(array) > 1 else 0.0
+    return {"mean": float(array.mean()), "stderr": standard_error}
+
+
+def run_table3(
+    settings: Optional[ExperimentSettings] = None,
+    methods: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Run every method on every dataset over all seeds.
+
+    Returns one record per (dataset, method) with mean and standard error
+    of CR, F1 and AUC.
+    """
+    settings = settings or ExperimentSettings()
+    methods = methods if methods is not None else BASELINE_NAMES + ["tp-grgad"]
+
+    records: List[Dict[str, object]] = []
+    for dataset in settings.datasets:
+        for method in methods:
+            metric_values: Dict[str, List[float]] = {"CR": [], "F1": [], "AUC": []}
+            for seed in settings.seeds:
+                graph = settings.load(dataset, seed=seed)
+                if method == "tp-grgad":
+                    detector = TPGrGAD(settings.pipeline_config(seed=seed))
+                    report = detector.fit_detect(graph).evaluate(graph)
+                else:
+                    baseline = get_baseline(method, settings.baseline_config(seed=seed))
+                    report = baseline.fit_detect(graph).evaluate(graph)
+                metric_values["CR"].append(report.cr)
+                metric_values["F1"].append(report.f1)
+                metric_values["AUC"].append(report.auc)
+            record: Dict[str, object] = {
+                "dataset": settings.display_name(dataset),
+                "method": "TP-GrGAD" if method == "tp-grgad" else method.upper() if method != "as-gae" else "AS-GAE",
+            }
+            for metric, values in metric_values.items():
+                aggregated = _aggregate(values)
+                record[metric] = aggregated["mean"]
+                record[f"{metric}_stderr"] = aggregated["stderr"]
+            records.append(record)
+    return records
+
+
+def render_table3(records: List[Dict[str, object]]) -> str:
+    """Format Table III as ASCII (mean ± standard error)."""
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record["dataset"],
+                record["method"],
+                f"{record['CR']:.2f}±{record['CR_stderr']:.2f}",
+                f"{record['F1']:.2f}±{record['F1_stderr']:.2f}",
+                f"{record['AUC']:.2f}±{record['AUC_stderr']:.2f}",
+            ]
+        )
+    return format_table(
+        ["dataset", "method", "CR", "F1", "AUC"],
+        rows,
+        title="Table III — group-level detection results (mean ± stderr over seeds)",
+    )
+
+
+def best_method_per_dataset(records: List[Dict[str, object]], metric: str = "CR") -> Dict[str, str]:
+    """Winner per dataset for a metric (used by benchmark assertions)."""
+    winners: Dict[str, str] = {}
+    best: Dict[str, float] = {}
+    for record in records:
+        dataset = str(record["dataset"])
+        value = float(record[metric])
+        if dataset not in best or value > best[dataset]:
+            best[dataset] = value
+            winners[dataset] = str(record["method"])
+    return winners

@@ -1,0 +1,29 @@
+"""Graph AutoEncoders for anchor-node localization.
+
+:class:`GraphAutoEncoder` is the vanilla attributed GAE (the DOMINANT-style
+model of Sec. III-A): a GCN encoder, an inner-product structure decoder and
+an MLP attribute decoder, trained to reconstruct the adjacency and feature
+matrices.  Per-node reconstruction errors (Eqn. 1) are its anomaly scores.
+
+:class:`MultiHopGAE` (MH-GAE, Sec. V-B) replaces the structure
+reconstruction target with either a standardised k-hop matrix ``A^k``
+(Eqn. 3) or the GraphSNN weighted adjacency ``Ã`` (Eqn. 4), so the
+reconstruction error captures *long-range inconsistency* and exposes nodes
+hidden deep inside anomaly groups.
+
+:func:`select_anchor_nodes` turns node scores into the anchor set used by
+candidate-group sampling.
+"""
+
+from repro.gae.autoencoder import GraphAutoEncoder, GAEConfig, GAETrainingResult
+from repro.gae.multihop import MultiHopGAE, MHGAEConfig
+from repro.gae.anchors import select_anchor_nodes
+
+__all__ = [
+    "GraphAutoEncoder",
+    "GAEConfig",
+    "GAETrainingResult",
+    "MultiHopGAE",
+    "MHGAEConfig",
+    "select_anchor_nodes",
+]

@@ -1,0 +1,21 @@
+"""Topology Pattern-based Graph Contrastive Learning (TPGCL, Sec. V-D).
+
+TPGCL turns candidate groups into embeddings that carry topology-pattern
+information.  For every candidate group a *positive* view (PPA) and a
+*negative* view (PBA) are generated; a shared GCN group encoder embeds all
+views, and the training objective (Eqn. 8) minimises the MINE estimate of
+the mutual information between positive and negative view embeddings.
+"""
+
+from repro.gcl.encoder import GroupEncoder
+from repro.gcl.mine import MINEStatisticsNetwork, mine_mutual_information
+from repro.gcl.tpgcl import TPGCL, TPGCLConfig, TPGCLTrainingResult
+
+__all__ = [
+    "GroupEncoder",
+    "MINEStatisticsNetwork",
+    "mine_mutual_information",
+    "TPGCL",
+    "TPGCLConfig",
+    "TPGCLTrainingResult",
+]

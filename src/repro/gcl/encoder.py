@@ -1,0 +1,48 @@
+"""Group encoder: a GCN over the group's induced subgraph plus mean readout.
+
+The paper uses a 2-layer GCN (Sec. VII-A4) shared across all candidate
+groups and views; a permutation-invariant mean readout turns node
+embeddings into a single group embedding of dimension 64.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph import Graph, normalized_adjacency
+from repro.nn import GCNConv, Module
+from repro.tensor import Tensor
+
+
+class GroupEncoder(Module):
+    """Shared GCN encoder mapping a (small) group graph to one embedding row."""
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden_dim: int = 64,
+        embedding_dim: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv_1 = GCNConv(n_features, hidden_dim, rng, activation="relu")
+        self.conv_2 = GCNConv(hidden_dim, embedding_dim, rng, activation=None)
+        self.embedding_dim = embedding_dim
+
+    def forward(self, group_graph: Graph) -> Tensor:
+        """Embed one group graph; returns a ``(1, embedding_dim)`` tensor."""
+        propagation = normalized_adjacency(group_graph)
+        features = Tensor(group_graph.features)
+        hidden = self.conv_1(features, propagation)
+        node_embeddings = self.conv_2(hidden, propagation)
+        return node_embeddings.mean(axis=0, keepdims=True)
+
+    def encode_batch(self, group_graphs: List[Graph]) -> Tensor:
+        """Embed a list of group graphs into an ``(m, embedding_dim)`` tensor."""
+        if not group_graphs:
+            raise ValueError("encode_batch received no group graphs")
+        rows = [self.forward(graph) for graph in group_graphs]
+        return Tensor.concatenate(rows, axis=0)

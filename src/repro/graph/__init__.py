@@ -1,0 +1,30 @@
+"""Graph substrate: containers, adjacency transforms and group utilities.
+
+Everything downstream (datasets, GAE variants, sampling, contrastive
+learning, baselines) operates on :class:`repro.graph.Graph`, an attributed
+undirected graph with optional ground-truth anomaly groups attached.
+"""
+
+from repro.graph.group import Group
+from repro.graph.graph import Graph
+from repro.graph.adjacency import (
+    adjacency_matrix,
+    normalized_adjacency,
+    k_hop_matrix,
+    graphsnn_weighted_adjacency,
+    row_normalize,
+)
+from repro.graph.builders import graph_from_networkx, graph_to_networkx, union_of_groups
+
+__all__ = [
+    "Graph",
+    "Group",
+    "adjacency_matrix",
+    "normalized_adjacency",
+    "k_hop_matrix",
+    "graphsnn_weighted_adjacency",
+    "row_normalize",
+    "graph_from_networkx",
+    "graph_to_networkx",
+    "union_of_groups",
+]

@@ -1,0 +1,310 @@
+"""The attributed :class:`Graph` container.
+
+A ``Graph`` is an undirected attributed graph with
+
+* ``n_nodes`` nodes indexed ``0 .. n_nodes - 1``,
+* an edge list (stored canonically, no duplicates, no self loops),
+* a dense feature matrix ``X`` of shape ``(n_nodes, n_features)``,
+* optional ground-truth anomaly :class:`~repro.graph.group.Group` objects,
+* optional per-node anomaly labels derived from those groups.
+
+The container is deliberately immutable-ish: mutating operations return new
+``Graph`` instances so detectors can never corrupt a dataset in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.group import Group, _canonical_edge
+
+
+class Graph:
+    """Undirected attributed graph with optional ground-truth anomaly groups."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        features: Optional[np.ndarray] = None,
+        groups: Optional[Sequence[Group]] = None,
+        name: str = "graph",
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("a graph needs at least one node")
+        self.n_nodes = int(n_nodes)
+        self.name = name
+
+        canonical: Set[Tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                continue  # self loops are dropped; GCN adds them explicitly
+            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+                raise ValueError(f"edge ({u}, {v}) out of range for {self.n_nodes} nodes")
+            canonical.add(_canonical_edge(u, v))
+        self.edges: Tuple[Tuple[int, int], ...] = tuple(sorted(canonical))
+
+        if features is None:
+            features = np.zeros((self.n_nodes, 1), dtype=np.float64)
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != self.n_nodes:
+            raise ValueError(
+                f"features must have shape (n_nodes, d); got {features.shape} for {self.n_nodes} nodes"
+            )
+        self.features = features
+
+        self.groups: Tuple[Group, ...] = tuple(groups or ())
+        for group in self.groups:
+            bad = [n for n in group.nodes if not 0 <= n < self.n_nodes]
+            if bad:
+                raise ValueError(f"group references nodes outside the graph: {bad}")
+
+        self._adjacency_cache: Optional[sp.csr_matrix] = None
+        self._neighbor_cache: Optional[List[Tuple[int, ...]]] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(name={self.name!r}, nodes={self.n_nodes}, edges={self.n_edges}, "
+            f"features={self.n_features}, groups={self.n_groups})"
+        )
+
+    # ------------------------------------------------------------------
+    # Adjacency / neighbourhood access
+    # ------------------------------------------------------------------
+    def adjacency(self, sparse: bool = False):
+        """Return the symmetric binary adjacency matrix.
+
+        Parameters
+        ----------
+        sparse:
+            When True return a ``scipy.sparse.csr_matrix``; otherwise a dense
+            ``numpy`` array (fine for the graph sizes used in this repo).
+        """
+        if self._adjacency_cache is None:
+            rows, cols, vals = [], [], []
+            for u, v in self.edges:
+                rows.extend((u, v))
+                cols.extend((v, u))
+                vals.extend((1.0, 1.0))
+            self._adjacency_cache = sp.csr_matrix(
+                (vals, (rows, cols)), shape=(self.n_nodes, self.n_nodes), dtype=np.float64
+            )
+        return self._adjacency_cache if sparse else self._adjacency_cache.toarray()
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Neighbours of ``node`` (sorted, excluding the node itself)."""
+        if self._neighbor_cache is None:
+            adjacency: List[Set[int]] = [set() for _ in range(self.n_nodes)]
+            for u, v in self.edges:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+            self._neighbor_cache = [tuple(sorted(s)) for s in adjacency]
+        return self._neighbor_cache[int(node)]
+
+    def degree(self, node: Optional[int] = None):
+        """Degree of one node, or the full degree vector when ``node`` is None."""
+        if node is not None:
+            return len(self.neighbors(node))
+        degrees = np.zeros(self.n_nodes, dtype=np.int64)
+        for u, v in self.edges:
+            degrees[u] += 1
+            degrees[v] += 1
+        return degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is present."""
+        return int(v) in self.neighbors(int(u))
+
+    # ------------------------------------------------------------------
+    # Ground-truth helpers
+    # ------------------------------------------------------------------
+    def anomaly_node_mask(self) -> np.ndarray:
+        """Boolean mask of nodes belonging to any ground-truth group."""
+        mask = np.zeros(self.n_nodes, dtype=bool)
+        for group in self.groups:
+            mask[list(group.nodes)] = True
+        return mask
+
+    def average_group_size(self) -> float:
+        """Average number of nodes per ground-truth group (0 when no groups)."""
+        if not self.groups:
+            return 0.0
+        return float(np.mean([len(g) for g in self.groups]))
+
+    def statistics(self) -> Dict[str, float]:
+        """Dataset statistics in the format of Table I of the paper."""
+        return {
+            "nodes": self.n_nodes,
+            "edges": self.n_edges,
+            "attributes": self.n_features,
+            "anomaly_groups": self.n_groups,
+            "avg_group_size": round(self.average_group_size(), 2),
+        }
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int], name: Optional[str] = None) -> "Graph":
+        """Induced subgraph on ``nodes`` with node indices relabelled to ``0..k-1``.
+
+        Group annotations are dropped (a subgraph is usually a candidate
+        group, not a labelled dataset).
+        """
+        node_list = sorted({int(n) for n in nodes})
+        if not node_list:
+            raise ValueError("cannot build an empty subgraph")
+        index = {node: i for i, node in enumerate(node_list)}
+        node_set = set(node_list)
+        sub_edges = [
+            (index[u], index[v]) for u, v in self.edges if u in node_set and v in node_set
+        ]
+        return Graph(
+            n_nodes=len(node_list),
+            edges=sub_edges,
+            features=self.features[node_list],
+            name=name or f"{self.name}-sub",
+        )
+
+    def group_subgraph(self, group: Group) -> "Graph":
+        """Induced subgraph of a :class:`Group` (uses graph edges, not group edges)."""
+        return self.subgraph(group.nodes, name=f"{self.name}-group")
+
+    def with_groups(self, groups: Sequence[Group]) -> "Graph":
+        """Return a copy of this graph annotated with ``groups``."""
+        return Graph(self.n_nodes, self.edges, self.features, groups=groups, name=self.name)
+
+    def with_features(self, features: np.ndarray) -> "Graph":
+        """Return a copy of this graph with a replaced feature matrix."""
+        return Graph(self.n_nodes, self.edges, features, groups=self.groups, name=self.name)
+
+    def add_nodes_and_edges(
+        self,
+        new_node_features: np.ndarray,
+        new_edges: Iterable[Tuple[int, int]],
+        name: Optional[str] = None,
+    ) -> "Graph":
+        """Return a grown copy with extra nodes appended and extra edges added.
+
+        ``new_edges`` may reference both old nodes and the freshly appended
+        ones (indices ``n_nodes .. n_nodes + k - 1``).
+        """
+        new_node_features = np.atleast_2d(np.asarray(new_node_features, dtype=np.float64))
+        if new_node_features.size and new_node_features.shape[1] != self.n_features:
+            raise ValueError("new node features must match the graph feature dimension")
+        total = self.n_nodes + new_node_features.shape[0]
+        features = (
+            np.vstack([self.features, new_node_features]) if new_node_features.size else self.features
+        )
+        edges = list(self.edges) + [(int(u), int(v)) for u, v in new_edges]
+        return Graph(total, edges, features, groups=self.groups, name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def connected_components(self, nodes: Optional[Iterable[int]] = None) -> List[Set[int]]:
+        """Connected components of the whole graph or of an induced node subset."""
+        if nodes is None:
+            candidates = set(range(self.n_nodes))
+        else:
+            candidates = {int(n) for n in nodes}
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in sorted(candidates):
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            seen.add(start)
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self.neighbors(current):
+                    if neighbor in candidates and neighbor not in seen:
+                        seen.add(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+        return components
+
+    def bfs_tree(self, root: int, depth: int) -> Dict[int, int]:
+        """Breadth-first tree from ``root`` to at most ``depth`` hops.
+
+        Returns a mapping ``node -> parent`` (the root maps to itself).
+        """
+        root = int(root)
+        parents = {root: root}
+        frontier = [root]
+        for _ in range(depth):
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor not in parents:
+                        parents[neighbor] = node
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return parents
+
+    def shortest_path(self, source: int, target: int, cutoff: Optional[int] = None) -> Optional[List[int]]:
+        """Unweighted shortest path between two nodes (BFS), or None if unreachable.
+
+        ``cutoff`` bounds the number of hops explored.
+        """
+        source, target = int(source), int(target)
+        if source == target:
+            return [source]
+        parents = {source: source}
+        frontier = [source]
+        hops = 0
+        while frontier:
+            if cutoff is not None and hops >= cutoff:
+                return None
+            hops += 1
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor in parents:
+                        continue
+                    parents[neighbor] = node
+                    if neighbor == target:
+                        path = [target]
+                        while path[-1] != source:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return None
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` if internal invariants are violated."""
+        for u, v in self.edges:
+            if u == v:
+                raise ValueError("self loop found in canonical edge list")
+            if u > v:
+                raise ValueError("edge list is not canonical")
+        if len(set(self.edges)) != len(self.edges):
+            raise ValueError("duplicate edges found")
+        if not np.isfinite(self.features).all():
+            raise ValueError("features contain NaN or infinite values")

@@ -1,0 +1,51 @@
+"""Completeness Ratio (CR), the paper's new metric (Eqns. 24-25).
+
+For every ground-truth group ``c_g`` the completeness score is the best
+match over predicted groups ``ĉ_i``:
+
+    s_g = max_i  0.5 * ( |V̂_i ∩ V_g| / |V_g|  +  |V̂_i ∩ V_g| / |V̂_i| )
+
+i.e. the average of recall (what fraction of the true group was found) and
+precision (how much of the predicted group is not redundant).  CR is the
+mean of ``s_g`` over all ground-truth groups; CR = 1 means every anomaly
+group was recovered exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph import Group
+
+
+def completeness_score(truth: Group, predictions: Sequence[Group]) -> float:
+    """Completeness score ``s_g`` of a single ground-truth group (Eqn. 24)."""
+    truth_nodes = truth.nodes
+    if not truth_nodes:
+        raise ValueError("ground-truth group is empty")
+    best = 0.0
+    for predicted in predictions:
+        predicted_nodes = predicted.nodes
+        if not predicted_nodes:
+            continue
+        overlap = len(truth_nodes & predicted_nodes)
+        if overlap == 0:
+            continue
+        score = 0.5 * (overlap / len(truth_nodes) + overlap / len(predicted_nodes))
+        best = max(best, score)
+    return best
+
+
+def completeness_ratio(truth_groups: Sequence[Group], predicted_groups: Sequence[Group]) -> float:
+    """Completeness Ratio over all ground-truth groups (Eqn. 25).
+
+    Returns 0.0 when there are no predictions; raises when there is no
+    ground truth (the metric is undefined in that case).
+    """
+    truth_groups = list(truth_groups)
+    if not truth_groups:
+        raise ValueError("completeness ratio requires at least one ground-truth group")
+    predicted_groups = list(predicted_groups)
+    if not predicted_groups:
+        return 0.0
+    return sum(completeness_score(g, predicted_groups) for g in truth_groups) / len(truth_groups)

@@ -1,0 +1,31 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so model
+construction is fully reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, the scheme used by GCN."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    """Uniform initialisation in ``[low, high]``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

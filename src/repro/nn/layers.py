@@ -1,0 +1,191 @@
+"""Layers: Linear, MLP, graph convolutions, dropout and decoders.
+
+The graph convolution follows Kipf & Welling's GCN rule
+
+    H' = act( \\hat{A} H W + b )
+
+where ``\\hat{A}`` is the symmetrically normalised adjacency with self
+loops.  :class:`GraphSNNConv` is the same propagation rule but driven by the
+GraphSNN weighted adjacency ``Ã`` of Eqn. (4) in the paper, which is the
+reconstruction target recommended for MH-GAE.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+Activation = Optional[str]
+
+_ACTIVATIONS: dict = {
+    None: lambda x: x,
+    "relu": lambda x: x.relu(),
+    "leaky_relu": lambda x: x.leaky_relu(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "tanh": lambda x: x.tanh(),
+    "softplus": lambda x: x.softplus(),
+}
+
+
+def _resolve_activation(name: Activation) -> Callable[[Tensor], Tensor]:
+    if callable(name):
+        return name
+    if name not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation '{name}'; choose one of {sorted(k for k in _ACTIVATIONS if k)}")
+    return _ACTIVATIONS[name]
+
+
+class Linear(Module):
+    """Dense affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit random generator."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.dropout(self.rate, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden activation.
+
+    Used both as the attribute decoder of the GAE family and as the MINE
+    statistics network Φ in TPGCL.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        activation: Activation = "relu",
+        output_activation: Activation = None,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dimensions")
+        self.linears: List[Linear] = [Linear(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)]
+        self._activation = _resolve_activation(activation)
+        self._output_activation = _resolve_activation(output_activation)
+        self._dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        last = len(self.linears) - 1
+        for index, linear in enumerate(self.linears):
+            x = linear(x)
+            if index != last:
+                x = self._activation(x)
+                if self._dropout is not None:
+                    x = self._dropout(x)
+        return self._output_activation(x)
+
+
+class GCNConv(Module):
+    """Graph convolution ``act(\\hat{A} X W + b)`` with a precomputed propagation matrix.
+
+    The propagation matrix is passed at call time as a plain numpy array (it
+    is a constant of the optimisation problem), so the same layer works with
+    the normalised adjacency, its k-th powers, or the GraphSNN ``Ã``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Activation = "relu",
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng, bias=bias)
+        self._activation = _resolve_activation(activation)
+
+    def forward(self, x: Tensor, propagation: np.ndarray) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        support = self.linear(x)
+        propagated = Tensor(np.asarray(propagation, dtype=np.float64)) @ support
+        return self._activation(propagated)
+
+
+class GraphSNNConv(Module):
+    """GCN-style convolution driven by the GraphSNN weighted adjacency ``Ã``.
+
+    GraphSNN (Wijesinghe & Wang, ICLR 2022) augments message passing with
+    overlap-subgraph weights; the paper uses its weighted adjacency as the
+    reconstruction target of MH-GAE.  The layer itself mixes the node's own
+    transformed features with structurally weighted neighbour messages:
+
+        H' = act( (I + Ã_norm) X W )
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Activation = "relu",
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng)
+        self._activation = _resolve_activation(activation)
+
+    def forward(self, x: Tensor, weighted_adjacency: np.ndarray) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        weighted = np.asarray(weighted_adjacency, dtype=np.float64)
+        mixing = np.eye(weighted.shape[0]) + weighted
+        support = self.linear(x)
+        return self._activation(Tensor(mixing) @ support)
+
+
+class InnerProductDecoder(Module):
+    """Structure decoder ``sigmoid(Z Z^T)`` used by every GAE variant."""
+
+    def __init__(self, apply_sigmoid: bool = True) -> None:
+        super().__init__()
+        self.apply_sigmoid = apply_sigmoid
+
+    def forward(self, z: Tensor) -> Tensor:
+        logits = z @ z.T
+        return logits.sigmoid() if self.apply_sigmoid else logits

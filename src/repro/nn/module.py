@@ -1,0 +1,116 @@
+"""Minimal ``Module`` / ``Parameter`` abstraction.
+
+Modules own named parameters and sub-modules, expose ``parameters()`` for
+optimizers, and carry a ``training`` flag consumed by stochastic layers
+such as :class:`repro.nn.layers.Dropout`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; both are discovered automatically by :meth:`parameters` and
+    :meth:`named_parameters`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for this module and children."""
+        for name, value in vars(self).items():
+            qualified = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield qualified, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{qualified}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{qualified}.{index}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{qualified}.{index}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return the list of trainable parameters (depth-first order)."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all sub-modules depth-first."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------
+    # Training / evaluation mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set the training flag on this module and all sub-modules."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the module (and children) to evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradient helpers and state
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable values."""
+        return sum(param.size for param in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by its qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(f"shape mismatch for '{name}': {own[name].data.shape} vs {values.shape}")
+            own[name].data = np.asarray(values, dtype=np.float64).copy()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,47 @@
+"""SUOD-style ensemble: average of min-max-normalised base detector scores.
+
+SUOD (Zhao et al., MLSys 2021) is an acceleration/ensembling framework over
+heterogeneous detectors; the behaviour that matters for this reproduction
+is the heterogeneous score combination, which is implemented here as the
+mean of normalised base scores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.outlier.base import OutlierDetector, min_max_normalize
+from repro.outlier.ecod import ECOD
+from repro.outlier.iforest import IsolationForest
+from repro.outlier.lof import LocalOutlierFactor
+from repro.outlier.mahalanobis import MahalanobisDetector
+
+
+class SUODEnsemble(OutlierDetector):
+    """Heterogeneous detector ensemble with normalised score averaging."""
+
+    def __init__(self, detectors: Optional[Sequence[OutlierDetector]] = None) -> None:
+        self.detectors: List[OutlierDetector] = list(
+            detectors
+            if detectors is not None
+            else (ECOD(), LocalOutlierFactor(), IsolationForest(), MahalanobisDetector())
+        )
+        if not self.detectors:
+            raise ValueError("the ensemble needs at least one base detector")
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "SUODEnsemble":
+        X = self._validate(X)
+        for detector in self.detectors:
+            detector.fit(X)
+        self._fitted = True
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("call fit() before scoring")
+        X = self._validate(X)
+        normalized = [min_max_normalize(d.decision_scores(X)) for d in self.detectors]
+        return np.mean(normalized, axis=0)

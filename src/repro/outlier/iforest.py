@@ -1,0 +1,96 @@
+"""Isolation Forest (Liu et al., 2008) implemented with lightweight recursive trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.outlier.base import OutlierDetector
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+def _average_path_length(n: int) -> float:
+    """Average unsuccessful-search path length of a BST with n points."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = np.log(n - 1) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+class IsolationForest(OutlierDetector):
+    """Ensemble of random isolation trees; anomalies isolate in few splits."""
+
+    def __init__(self, n_trees: int = 50, max_samples: int = 64, seed: int = 0) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_samples = max_samples
+        self.seed = seed
+        self._trees: List[_Node] = []
+        self._sample_size: int = 0
+        self._n_features: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _build_tree(self, X: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(size=X.shape[0])
+        if depth >= max_depth or X.shape[0] <= 1:
+            return node
+        feature = int(rng.integers(0, X.shape[1]))
+        low, high = X[:, feature].min(), X[:, feature].max()
+        if high - low < 1e-12:
+            return node
+        threshold = float(rng.uniform(low, high))
+        mask = X[:, feature] < threshold
+        if mask.all() or (~mask).all():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build_tree(X[mask], depth + 1, max_depth, rng)
+        node.right = self._build_tree(X[~mask], depth + 1, max_depth, rng)
+        return node
+
+    def fit(self, X: np.ndarray) -> "IsolationForest":
+        X = self._validate(X)
+        self._n_features = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._sample_size = min(self.max_samples, X.shape[0])
+        max_depth = int(np.ceil(np.log2(max(self._sample_size, 2))))
+        self._trees = []
+        for _ in range(self.n_trees):
+            sample_indices = rng.choice(X.shape[0], size=self._sample_size, replace=False)
+            self._trees.append(self._build_tree(X[sample_indices], 0, max_depth, rng))
+        return self
+
+    # ------------------------------------------------------------------
+    def _path_length(self, x: np.ndarray, node: _Node, depth: int) -> float:
+        while not node.is_leaf:
+            node = node.left if x[node.feature] < node.threshold else node.right
+            depth += 1
+        return depth + _average_path_length(node.size)
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("call fit() before scoring")
+        X = self._validate(X, fitted_dim=self._n_features)
+        normalizer = _average_path_length(self._sample_size)
+        scores = np.empty(X.shape[0])
+        for index, x in enumerate(X):
+            lengths = [self._path_length(x, tree, 0) for tree in self._trees]
+            scores[index] = 2.0 ** (-np.mean(lengths) / max(normalizer, 1e-12))
+        return scores

@@ -1,0 +1,40 @@
+"""Mahalanobis-distance outlier detector with a shrinkage covariance estimate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.outlier.base import OutlierDetector
+
+
+class MahalanobisDetector(OutlierDetector):
+    """Distance to the sample mean under a (shrunk) covariance metric."""
+
+    def __init__(self, shrinkage: float = 0.1) -> None:
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        self.shrinkage = shrinkage
+        self._mean: Optional[np.ndarray] = None
+        self._precision: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MahalanobisDetector":
+        X = self._validate(X)
+        self._mean = X.mean(axis=0)
+        centered = X - self._mean
+        covariance = centered.T @ centered / max(X.shape[0] - 1, 1)
+        # Ledoit-Wolf-style shrinkage toward a scaled identity keeps the
+        # matrix invertible for small sample sizes (few candidate groups).
+        trace = np.trace(covariance) / covariance.shape[0]
+        shrunk = (1.0 - self.shrinkage) * covariance + self.shrinkage * trace * np.eye(covariance.shape[0])
+        shrunk += 1e-9 * np.eye(covariance.shape[0])
+        self._precision = np.linalg.pinv(shrunk)
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        if self._mean is None:
+            raise RuntimeError("call fit() before scoring")
+        X = self._validate(X, fitted_dim=self._mean.shape[0])
+        centered = X - self._mean
+        return np.sqrt(np.maximum((centered @ self._precision * centered).sum(axis=1), 0.0))

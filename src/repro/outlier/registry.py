@@ -1,0 +1,34 @@
+"""Name-based outlier detector construction (used by pipeline configs)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.outlier.base import OutlierDetector
+from repro.outlier.ecod import ECOD
+from repro.outlier.ensemble import SUODEnsemble
+from repro.outlier.iforest import IsolationForest
+from repro.outlier.lof import LocalOutlierFactor
+from repro.outlier.mahalanobis import MahalanobisDetector
+
+_FACTORIES: Dict[str, Callable[[], OutlierDetector]] = {
+    "ecod": ECOD,
+    "lof": LocalOutlierFactor,
+    "iforest": IsolationForest,
+    "mahalanobis": MahalanobisDetector,
+    "suod": SUODEnsemble,
+}
+
+
+def available_detectors() -> List[str]:
+    """Names accepted by :func:`get_detector`."""
+    return sorted(_FACTORIES)
+
+
+def get_detector(name: str) -> OutlierDetector:
+    """Instantiate an outlier detector by name (``ecod``, ``lof``, ``iforest``,
+    ``mahalanobis`` or ``suod``)."""
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown detector '{name}'; available: {available_detectors()}")
+    return _FACTORIES[key]()

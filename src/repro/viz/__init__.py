@@ -1,0 +1,11 @@
+"""Visualisation helpers: t-SNE embeddings and ASCII tables/heatmaps.
+
+The experiment harness is terminal-first: figures are emitted as data
+series plus ASCII renderings so they can be inspected without matplotlib
+(which is not available in the offline environment).
+"""
+
+from repro.viz.tsne import tsne
+from repro.viz.tables import format_table, format_heatmap, format_bar_chart
+
+__all__ = ["tsne", "format_table", "format_heatmap", "format_bar_chart"]

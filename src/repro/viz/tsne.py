@@ -1,0 +1,100 @@
+"""A compact exact t-SNE implementation (van der Maaten & Hinton, 2008).
+
+Used by the Figure 7 experiment to project TPGCL group embeddings to 2-D.
+The implementation is the classic O(n²) exact variant, which is more than
+fast enough for the few hundred candidate groups produced per dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+
+def _binary_search_perplexity(distances: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 50) -> np.ndarray:
+    """Row-wise conditional probabilities with the requested perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros_like(distances)
+    for i in range(n):
+        beta_low, beta_high = -np.inf, np.inf
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            exponent = np.exp(-row * beta)
+            exponent[i] = 0.0
+            total = exponent.sum()
+            if total <= 0:
+                p_row = np.zeros_like(row)
+                entropy = 0.0
+            else:
+                p_row = exponent / total
+                nonzero = p_row > 0
+                entropy = -np.sum(p_row[nonzero] * np.log(p_row[nonzero]))
+            difference = entropy - target_entropy
+            if abs(difference) < tol:
+                break
+            if difference > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == -np.inf else (beta + beta_low) / 2.0
+        probabilities[i] = p_row
+    return probabilities
+
+
+def tsne(
+    X: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 15.0,
+    n_iterations: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Project ``X`` to ``n_components`` dimensions with exact t-SNE.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` data matrix.
+    perplexity:
+        Effective number of neighbours; clipped to ``(n - 1) / 3``.
+    n_iterations:
+        Gradient-descent iterations (with momentum and early exaggeration).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least three samples")
+    rng = np.random.default_rng(seed)
+    perplexity = min(perplexity, max(2.0, (n - 1) / 3.0))
+
+    squared_distances = cdist(X, X, metric="sqeuclidean")
+    conditional = _binary_search_perplexity(squared_distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    embedding = rng.normal(scale=1e-2, size=(n, n_components))
+    velocity = np.zeros_like(embedding)
+    exaggeration = 4.0
+    momentum = 0.5
+
+    for iteration in range(n_iterations):
+        if iteration == 50:
+            exaggeration = 1.0
+        if iteration == 100:
+            momentum = 0.8
+        low_dim_sq = cdist(embedding, embedding, metric="sqeuclidean")
+        student = 1.0 / (1.0 + low_dim_sq)
+        np.fill_diagonal(student, 0.0)
+        q = np.maximum(student / student.sum(), 1e-12)
+
+        difference = (exaggeration * joint - q) * student
+        gradient = 4.0 * (np.diag(difference.sum(axis=1)) - difference) @ embedding
+
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+    return embedding

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_example_graph
+from repro.graph import Graph, Group
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """A 6-node graph: a triangle attached to a 3-node path, plus features."""
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]
+    features = np.arange(12, dtype=float).reshape(6, 2)
+    return Graph(6, edges, features, name="tiny")
+
+
+@pytest.fixture
+def path_group() -> Group:
+    return Group.from_path([0, 1, 2, 3])
+
+
+@pytest.fixture
+def labelled_graph() -> Graph:
+    """A 10-node graph with one ground-truth anomaly group (a 4-node path)."""
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)]
+    features = np.ones((10, 3))
+    features[6:] += 2.0
+    group = Group.from_path([6, 7, 8, 9])
+    return Graph(10, edges, features, groups=[group], name="labelled")
+
+
+@pytest.fixture(scope="session")
+def example_graph() -> Graph:
+    """The Fig. 3 / Fig. 8 example graph (session-scoped: generation is deterministic)."""
+    return make_example_graph(seed=7)

@@ -1,0 +1,87 @@
+"""Unit tests for the baseline detectors (N-GAD and Sub-GAD families)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ASGAE,
+    BaselineConfig,
+    ComGA,
+    DeepAE,
+    DeepFD,
+    Dominant,
+    ONE,
+    available_baselines,
+    get_baseline,
+)
+
+FAST = BaselineConfig(epochs=10, hidden_dim=16, embedding_dim=8, seed=0)
+ALL_BASELINES = [Dominant, DeepAE, ComGA, ONE, DeepFD, ASGAE]
+
+
+class TestBaselineConfig:
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(contamination=0.0)
+
+    def test_invalid_group_contamination(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(group_contamination=1.5)
+
+
+class TestNodeScores:
+    @pytest.mark.parametrize("baseline_class", ALL_BASELINES)
+    def test_node_scores_shape_and_finite(self, baseline_class, example_graph):
+        scores = baseline_class(FAST).node_scores(example_graph)
+        assert scores.shape == (example_graph.n_nodes,)
+        assert np.isfinite(scores).all()
+
+    def test_dominant_scores_not_constant(self, example_graph):
+        scores = Dominant(FAST).node_scores(example_graph)
+        assert scores.std() > 0
+
+    def test_comga_detects_communities(self, example_graph):
+        baseline = ComGA(FAST)
+        baseline.node_scores(example_graph)
+        assert baseline.communities_ is not None
+        assert len(np.unique(baseline.communities_)) >= 2
+
+
+class TestGroupExtraction:
+    @pytest.mark.parametrize("baseline_class", ALL_BASELINES)
+    def test_fit_detect_produces_valid_result(self, baseline_class, example_graph):
+        result = baseline_class(FAST).fit_detect(example_graph)
+        assert result.method == baseline_class.name
+        assert result.n_candidates == len(result.scores)
+        for group in result.candidate_groups:
+            assert len(group) >= FAST.min_group_size
+            assert group.score is not None
+        assert result.n_anomalous <= result.n_candidates
+
+    @pytest.mark.parametrize("baseline_class", [Dominant, DeepAE, ASGAE])
+    def test_groups_are_connected_components(self, baseline_class, example_graph):
+        result = baseline_class(FAST).fit_detect(example_graph)
+        for group in result.candidate_groups:
+            components = example_graph.connected_components(group.nodes)
+            assert len(components) == 1
+
+    def test_evaluation_report_structure(self, example_graph):
+        report = Dominant(FAST).fit_detect(example_graph).evaluate(example_graph)
+        assert 0.0 <= report.cr <= 1.0
+        assert 0.0 <= report.f1 <= 1.0
+        assert 0.0 <= report.auc <= 1.0
+
+
+class TestRegistry:
+    def test_available_baselines(self):
+        assert set(available_baselines()) == {"dominant", "deepae", "comga", "one", "deepfd", "as-gae"}
+
+    @pytest.mark.parametrize("name", ["dominant", "deepae", "comga", "one", "deepfd", "as-gae", "ASGAE"])
+    def test_get_baseline(self, name):
+        assert get_baseline(name, FAST) is not None
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            get_baseline("gpt-detector")

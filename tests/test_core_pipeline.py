@@ -1,0 +1,122 @@
+"""Unit and integration tests for the TP-GrGAD pipeline and result container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GroupDetectionResult, TPGrGAD, TPGrGADConfig
+from repro.gae import MHGAEConfig
+from repro.graph import Group
+
+
+class TestConfig:
+    def test_fast_config_is_valid(self):
+        config = TPGrGADConfig.fast(seed=5)
+        assert config.seed == 5
+        assert config.mhgae.seed == 5
+        assert config.sampler.seed == 5
+        assert config.tpgcl.seed == 5
+
+    def test_invalid_anchor_fraction(self):
+        with pytest.raises(ValueError):
+            TPGrGADConfig(anchor_fraction=0.0)
+
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            TPGrGADConfig(contamination=1.0)
+
+    def test_explicit_stage_seeds_preserved(self):
+        config = TPGrGADConfig(mhgae=MHGAEConfig(seed=42), seed=7)
+        assert config.mhgae.seed == 42
+
+
+class TestResultContainer:
+    def _result(self):
+        groups = [Group.from_nodes([0, 1, 2]), Group.from_nodes([3, 4]), Group.from_nodes([5, 6, 7, 8])]
+        scores = np.array([0.9, 0.1, 0.5])
+        return GroupDetectionResult(
+            candidate_groups=groups,
+            scores=scores,
+            threshold=0.4,
+            anomalous_groups=[groups[0].with_score(0.9), groups[2].with_score(0.5)],
+        )
+
+    def test_counts_and_sizes(self):
+        result = self._result()
+        assert result.n_candidates == 3
+        assert result.n_anomalous == 2
+        assert result.average_anomalous_size() == pytest.approx(3.5)
+
+    def test_top_groups_sorted_by_score(self):
+        result = self._result()
+        top = result.top_groups(2)
+        assert [g.score for g in top] == [pytest.approx(0.9), pytest.approx(0.5)]
+
+    def test_score_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GroupDetectionResult(
+                candidate_groups=[Group.from_nodes([0])],
+                scores=np.array([0.1, 0.2]),
+                threshold=0.0,
+                anomalous_groups=[],
+            )
+
+    def test_empty_result_statistics(self):
+        result = GroupDetectionResult(candidate_groups=[], scores=np.array([]), threshold=0.0, anomalous_groups=[])
+        assert result.average_anomalous_size() == 0.0
+        assert result.top_groups(3) == []
+
+
+class TestPipelineStages:
+    @pytest.fixture(scope="class")
+    def fitted(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        result = detector.fit_detect(example_graph)
+        return detector, result
+
+    def test_anchor_stage_enriched_in_group_nodes(self, fitted, example_graph):
+        _, result = fitted
+        truth = example_graph.anomaly_node_mask()
+        anomaly_rate = truth.mean()
+        anchor_hit_rate = truth[result.anchor_nodes].mean()
+        assert anchor_hit_rate > anomaly_rate  # anchors beat random selection
+
+    def test_candidates_and_scores_consistent(self, fitted):
+        _, result = fitted
+        assert result.n_candidates == len(result.scores)
+        assert result.embeddings.shape[0] == result.n_candidates
+        assert np.isfinite(result.scores).all()
+
+    def test_anomalous_groups_respect_threshold(self, fitted):
+        _, result = fitted
+        assert all(g.score >= result.threshold for g in result.anomalous_groups)
+        assert result.n_anomalous <= result.n_candidates
+
+    def test_node_scores_available(self, fitted, example_graph):
+        _, result = fitted
+        assert result.node_scores.shape == (example_graph.n_nodes,)
+
+    def test_evaluation_reports_reasonable_quality(self, fitted, example_graph):
+        _, result = fitted
+        report = result.evaluate(example_graph)
+        assert report.cr > 0.3
+        assert report.auc >= 0.5
+        assert report.avg_truth_size == pytest.approx(example_graph.average_group_size())
+
+    def test_explicit_threshold_respected(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=2))
+        result = detector.fit_detect(example_graph, threshold=float("inf"))
+        assert result.n_anomalous == 0
+
+    def test_without_tpgcl_uses_mean_features(self, example_graph):
+        config = TPGrGADConfig.fast(seed=1)
+        config.use_tpgcl = False
+        result = TPGrGAD(config).fit_detect(example_graph)
+        assert result.embeddings.shape[1] == example_graph.n_features
+
+    def test_alternative_outlier_detector(self, example_graph):
+        config = TPGrGADConfig.fast(seed=1)
+        config.detector = "iforest"
+        result = TPGrGAD(config).fit_detect(example_graph)
+        assert result.n_candidates > 0

@@ -1,0 +1,186 @@
+"""Unit tests for the dataset generators and injection machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GroupSpec,
+    available_datasets,
+    inject_groups,
+    load_dataset,
+    make_amlpublic,
+    make_citeseer_group,
+    make_cora_group,
+    make_ethereum_tsgn,
+    make_example_graph,
+    make_simml,
+    random_transaction_background,
+    sbm_citation_background,
+)
+from repro.datasets.injection import assign_group_features, split_boundary_and_deep
+from repro.augment.patterns import pattern_statistics
+
+
+GENERATORS = {
+    "simml": make_simml,
+    "cora": make_cora_group,
+    "citeseer": make_citeseer_group,
+    "amlpublic": make_amlpublic,
+    "ethereum": make_ethereum_tsgn,
+}
+
+
+class TestBackgrounds:
+    def test_transaction_background_connected_enough(self, rng):
+        graph = random_transaction_background(100, 150, 8, rng)
+        graph.validate()
+        assert graph.n_nodes == 100
+        assert graph.n_edges >= 99
+        assert (graph.features >= 0).all()
+
+    def test_transaction_background_edge_floor(self, rng):
+        graph = random_transaction_background(50, 10, 4, rng)
+        assert graph.n_edges >= 49  # backbone guarantees near-connectivity
+
+    def test_sbm_background_features_binaryish(self, rng):
+        graph = sbm_citation_background(80, 4, 4.0, 50, rng)
+        graph.validate()
+        assert set(np.unique(graph.features)) <= {0.0, 1.0}
+
+    def test_sbm_homophily_creates_communities(self, rng):
+        graph = sbm_citation_background(120, 3, 6.0, 20, rng, homophily=0.95)
+        assert graph.n_edges > 100
+
+
+class TestInjection:
+    def test_group_spec_validation(self):
+        with pytest.raises(ValueError):
+            GroupSpec(pattern="blob", size=4)
+        with pytest.raises(ValueError):
+            GroupSpec(pattern="cycle", size=2)
+        with pytest.raises(ValueError):
+            GroupSpec(pattern="path", size=3, n_attachments=0)
+
+    def test_split_boundary_and_deep_path(self):
+        nodes = [10, 11, 12, 13, 14]
+        edges = [(10, 11), (11, 12), (12, 13), (13, 14)]
+        boundary, deep = split_boundary_and_deep(nodes, edges, attachment_members=[10])
+        assert 10 in boundary and 11 in boundary
+        assert {12, 13, 14} == deep
+
+    def test_split_boundary_never_empty(self):
+        nodes = [0, 1, 2]
+        edges = [(0, 1), (1, 2)]
+        boundary, deep = split_boundary_and_deep(nodes, edges, attachment_members=[1], deep_distance=0)
+        assert boundary  # fallback keeps at least one boundary member
+
+    def test_assign_group_features_shapes_and_locality(self, rng):
+        nodes = list(range(5))
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        anchor = np.zeros(6)
+        features = assign_group_features(nodes, edges, [0], anchor, rng, attribute_shift=1.0, attribute_noise=0.01)
+        assert features.shape == (5, 6)
+        # Deep members (2, 3, 4) should be closer to their neighbours than
+        # boundary members are to each other on average.
+        deep_gap = np.linalg.norm(features[3] - features[2])
+        boundary_gap = np.linalg.norm(features[0] - anchor)
+        assert deep_gap < boundary_gap
+
+    def test_inject_groups_grows_graph_and_annotates(self, rng):
+        background = sbm_citation_background(40, 2, 3.0, 10, rng)
+        specs = [GroupSpec("path", 4), GroupSpec("cycle", 5), GroupSpec("star", 4)]
+        graph = inject_groups(background, specs, rng, name="injected")
+        graph.validate()
+        assert graph.n_nodes == 40 + 13
+        assert graph.n_groups == 3
+        assert {g.label for g in graph.groups} == {"path", "cycle", "tree"}
+        # Every group node index refers to a newly added node.
+        for group in graph.groups:
+            assert min(group.nodes) >= 40
+
+    def test_injected_groups_attached_to_background(self, rng):
+        background = sbm_citation_background(30, 2, 3.0, 8, rng)
+        graph = inject_groups(background, [GroupSpec("path", 5, n_attachments=2)], rng)
+        group_nodes = set(graph.groups[0].nodes)
+        crossing = [e for e in graph.edges if (e[0] in group_nodes) != (e[1] in group_nodes)]
+        assert len(crossing) >= 1
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name, generator", list(GENERATORS.items()))
+    def test_generator_produces_valid_annotated_graph(self, name, generator):
+        graph = generator(scale=0.08, seed=3)
+        graph.validate()
+        assert graph.n_groups >= 3
+        assert graph.anomaly_node_mask().sum() > 0
+        assert graph.average_group_size() >= 2.0
+
+    @pytest.mark.parametrize("name, generator", list(GENERATORS.items()))
+    def test_generator_deterministic_for_seed(self, name, generator):
+        a = generator(scale=0.08, seed=11)
+        b = generator(scale=0.08, seed=11)
+        assert a.n_nodes == b.n_nodes
+        assert a.edges == b.edges
+        assert a.features == pytest.approx(b.features)
+
+    @pytest.mark.parametrize("name, generator", list(GENERATORS.items()))
+    def test_generator_seed_changes_output(self, name, generator):
+        a = generator(scale=0.08, seed=1)
+        b = generator(scale=0.08, seed=2)
+        assert a.edges != b.edges
+
+    @pytest.mark.parametrize("name, generator", list(GENERATORS.items()))
+    def test_scale_increases_size(self, name, generator):
+        small = generator(scale=0.06, seed=0)
+        large = generator(scale=0.2, seed=0)
+        assert large.n_nodes > small.n_nodes
+
+    def test_invalid_scale_raises(self):
+        for generator in GENERATORS.values():
+            with pytest.raises(ValueError):
+                generator(scale=0.0)
+
+    def test_simml_group_sizes_near_published_average(self):
+        graph = make_simml(scale=0.2, seed=0)
+        assert 3.0 <= graph.average_group_size() <= 4.5
+
+    def test_amlpublic_dominated_by_paths(self):
+        graph = make_amlpublic(scale=0.1, seed=0)
+        labels = [g.label for g in graph.groups]
+        assert labels.count("path") >= len(labels) - 1
+
+    def test_ethereum_pattern_mix(self):
+        graph = make_ethereum_tsgn(scale=0.3, seed=0)
+        counts = pattern_statistics(graph)
+        assert counts["tree"] >= 1 and counts["cycle"] >= 1
+        assert counts["tree"] + counts["cycle"] > counts["path"]
+
+    def test_citation_attribute_cap_applies_when_scaled(self):
+        graph = make_cora_group(scale=0.1, seed=0, feature_cap=64)
+        assert graph.n_features == 64
+
+    def test_example_graph_has_three_pattern_groups(self, example_graph):
+        assert example_graph.n_groups == 3
+        assert {g.label for g in example_graph.groups} == {"path", "tree", "cycle"}
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert "simml" in names and "example" in names
+        assert len(names) == 6
+
+    @pytest.mark.parametrize("alias", ["simML", "Cora-g", "CiteSeer-g", "AMLP", "Eth", "ethereum"])
+    def test_aliases_resolve(self, alias):
+        graph = load_dataset(alias, scale=0.06, seed=0)
+        assert graph.n_nodes > 0
+
+    def test_example_via_registry(self):
+        graph = load_dataset("example")
+        assert graph.name == "example"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")

@@ -1,0 +1,126 @@
+"""Unit tests for the TPGCL contrastive-learning stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gcl import GroupEncoder, MINEStatisticsNetwork, TPGCL, TPGCLConfig, mine_mutual_information
+from repro.graph import Group
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def candidate_groups(example_graph):
+    groups = list(example_graph.groups)
+    groups.append(Group.from_nodes(range(0, 6)))
+    groups.append(Group.from_nodes(range(10, 17)))
+    groups.append(Group.from_nodes(range(20, 26)))
+    return groups
+
+
+class TestGroupEncoder:
+    def test_single_group_embedding_shape(self, example_graph):
+        encoder = GroupEncoder(example_graph.n_features, hidden_dim=16, embedding_dim=12)
+        subgraph = example_graph.group_subgraph(example_graph.groups[0])
+        assert encoder(subgraph).shape == (1, 12)
+
+    def test_batch_embedding_shape(self, example_graph, candidate_groups):
+        encoder = GroupEncoder(example_graph.n_features, hidden_dim=16, embedding_dim=12)
+        subgraphs = [example_graph.group_subgraph(g) for g in candidate_groups]
+        assert encoder.encode_batch(subgraphs).shape == (len(candidate_groups), 12)
+
+    def test_empty_batch_raises(self, example_graph):
+        encoder = GroupEncoder(example_graph.n_features)
+        with pytest.raises(ValueError):
+            encoder.encode_batch([])
+
+    def test_readout_is_permutation_invariant(self, example_graph):
+        encoder = GroupEncoder(example_graph.n_features, hidden_dim=8, embedding_dim=8)
+        nodes = sorted(example_graph.groups[0].nodes)
+        a = encoder(example_graph.subgraph(nodes)).numpy()
+        b = encoder(example_graph.subgraph(list(reversed(nodes)))).numpy()
+        assert a == pytest.approx(b)
+
+
+class TestMINE:
+    def test_statistics_network_output_shape(self):
+        network = MINEStatisticsNetwork(embedding_dim=6, hidden_dim=8)
+        scores = network(Tensor(np.ones((4, 6))), Tensor(np.ones((4, 6))))
+        assert scores.shape == (4, 1)
+
+    def test_mi_estimate_is_scalar_and_finite(self, rng):
+        network = MINEStatisticsNetwork(embedding_dim=4, hidden_dim=8)
+        positive = Tensor(rng.normal(size=(8, 4)))
+        negative = Tensor(rng.normal(size=(8, 4)))
+        estimate = mine_mutual_information(network, positive, negative)
+        assert estimate.size == 1
+        assert np.isfinite(estimate.item())
+
+    def test_mi_requires_matching_batches(self, rng):
+        network = MINEStatisticsNetwork(embedding_dim=4)
+        with pytest.raises(ValueError):
+            mine_mutual_information(network, Tensor(rng.normal(size=(4, 4))), Tensor(rng.normal(size=(5, 4))))
+
+    def test_mi_requires_at_least_two_pairs(self, rng):
+        network = MINEStatisticsNetwork(embedding_dim=4)
+        with pytest.raises(ValueError):
+            mine_mutual_information(network, Tensor(rng.normal(size=(1, 4))), Tensor(rng.normal(size=(1, 4))))
+
+    def test_mi_detects_dependence(self, rng):
+        """A trained estimator should report higher MI for correlated pairs than independent ones."""
+        from repro.nn import Adam
+
+        correlated = rng.normal(size=(40, 4))
+        positive = Tensor(correlated)
+        negative_dependent = Tensor(correlated + rng.normal(scale=0.05, size=(40, 4)))
+        negative_independent = Tensor(rng.normal(size=(40, 4)))
+
+        def trained_estimate(negative: Tensor) -> float:
+            network = MINEStatisticsNetwork(embedding_dim=4, hidden_dim=16, rng=np.random.default_rng(0))
+            optimizer = Adam(network.parameters(), lr=0.01)
+            for _ in range(80):
+                optimizer.zero_grad()
+                loss = -mine_mutual_information(network, positive, negative)
+                loss.backward()
+                optimizer.step()
+            return mine_mutual_information(network, positive, negative).item()
+
+        assert trained_estimate(negative_dependent) > trained_estimate(negative_independent)
+
+
+class TestTPGCL:
+    def test_fit_and_embed(self, example_graph, candidate_groups):
+        model = TPGCL(TPGCLConfig(epochs=2, batch_size=4, hidden_dim=16, embedding_dim=16))
+        embeddings = model.fit(example_graph, candidate_groups).embed_groups(example_graph, candidate_groups)
+        assert embeddings.shape == (len(candidate_groups), 16)
+        assert np.isfinite(embeddings).all()
+
+    def test_training_records_losses(self, example_graph, candidate_groups):
+        model = TPGCL(TPGCLConfig(epochs=3, batch_size=4, hidden_dim=8, embedding_dim=8))
+        model.fit(example_graph, candidate_groups)
+        assert len(model.training_result.losses) == 3
+        assert model.training_result.final_loss is not None
+
+    def test_needs_two_groups(self, example_graph):
+        model = TPGCL(TPGCLConfig(epochs=1))
+        with pytest.raises(ValueError):
+            model.fit(example_graph, [example_graph.groups[0]])
+
+    def test_embed_before_fit_raises(self, example_graph, candidate_groups):
+        with pytest.raises(RuntimeError):
+            TPGCL().embed_groups(example_graph, candidate_groups)
+
+    def test_alternative_augmentations(self, example_graph, candidate_groups):
+        config = TPGCLConfig(epochs=1, batch_size=4, hidden_dim=8, embedding_dim=8,
+                             positive_augmentation="FM", negative_augmentation="ND")
+        embeddings = TPGCL(config).fit(example_graph, candidate_groups).embed_groups(example_graph, candidate_groups)
+        assert embeddings.shape[0] == len(candidate_groups)
+
+    def test_deterministic_given_seed(self, example_graph, candidate_groups):
+        config = TPGCLConfig(epochs=2, batch_size=4, hidden_dim=8, embedding_dim=8, seed=3)
+        a = TPGCL(config).fit(example_graph, candidate_groups).embed_groups(example_graph, candidate_groups)
+        b = TPGCL(TPGCLConfig(epochs=2, batch_size=4, hidden_dim=8, embedding_dim=8, seed=3)).fit(
+            example_graph, candidate_groups
+        ).embed_groups(example_graph, candidate_groups)
+        assert a == pytest.approx(b)

@@ -1,0 +1,263 @@
+"""Unit tests for the graph substrate (Graph, Group, adjacency transforms, builders)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    Group,
+    adjacency_matrix,
+    graph_from_networkx,
+    graph_to_networkx,
+    graphsnn_weighted_adjacency,
+    k_hop_matrix,
+    normalized_adjacency,
+    row_normalize,
+    union_of_groups,
+)
+from repro.graph.adjacency import reconstruction_target
+from repro.graph.builders import groups_from_components
+
+
+class TestGroup:
+    def test_from_nodes(self):
+        group = Group.from_nodes([3, 1, 2])
+        assert len(group) == 3
+        assert 1 in group and 5 not in group
+        assert group.node_tuple() == (1, 2, 3)
+
+    def test_from_path_edges(self):
+        group = Group.from_path([0, 1, 2])
+        assert group.edges == frozenset({(0, 1), (1, 2)})
+        assert group.label == "path"
+
+    def test_from_cycle_edges(self):
+        group = Group.from_cycle([0, 1, 2, 3])
+        assert (0, 3) in group.edges
+        assert len(group.edges) == 4
+
+    def test_from_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            Group.from_cycle([0, 1])
+
+    def test_edge_outside_nodes_raises(self):
+        with pytest.raises(ValueError):
+            Group(nodes=frozenset({0, 1}), edges=frozenset({(0, 2)}))
+
+    def test_edges_canonicalised(self):
+        group = Group(nodes=frozenset({0, 1}), edges=frozenset({(1, 0)}))
+        assert group.edges == frozenset({(0, 1)})
+
+    def test_overlap_and_jaccard(self):
+        a = Group.from_nodes([0, 1, 2, 3])
+        b = Group.from_nodes([2, 3, 4, 5])
+        assert a.overlap(b) == 2
+        assert a.jaccard(b) == pytest.approx(2 / 6)
+
+    def test_with_score_and_label_do_not_mutate(self):
+        group = Group.from_nodes([0, 1])
+        scored = group.with_score(0.7)
+        assert group.score is None
+        assert scored.score == pytest.approx(0.7)
+        assert scored.with_label("x").label == "x"
+
+    def test_iteration_sorted(self):
+        assert list(Group.from_nodes([5, 2, 9])) == [2, 5, 9]
+
+
+class TestGraphContainer:
+    def test_basic_statistics(self, tiny_graph):
+        stats = tiny_graph.statistics()
+        assert stats["nodes"] == 6
+        assert stats["edges"] == 6
+        assert stats["attributes"] == 2
+        assert stats["anomaly_groups"] == 0
+
+    def test_self_loops_dropped_and_duplicates_merged(self):
+        graph = Graph(3, [(0, 0), (0, 1), (1, 0), (1, 2)])
+        assert graph.n_edges == 2
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 5)])
+
+    def test_feature_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3, [], features=np.ones((2, 2)))
+
+    def test_group_outside_graph_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3, [], groups=[Group.from_nodes([7])])
+
+    def test_adjacency_symmetric(self, tiny_graph):
+        adjacency = tiny_graph.adjacency()
+        assert adjacency == pytest.approx(adjacency.T)
+        assert adjacency.sum() == 2 * tiny_graph.n_edges
+
+    def test_adjacency_sparse_matches_dense(self, tiny_graph):
+        assert tiny_graph.adjacency(sparse=True).toarray() == pytest.approx(tiny_graph.adjacency())
+
+    def test_neighbors_and_degree(self, tiny_graph):
+        assert tiny_graph.neighbors(2) == (0, 1, 3)
+        assert tiny_graph.degree(2) == 3
+        assert tiny_graph.degree().sum() == 2 * tiny_graph.n_edges
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(0, 5)
+
+    def test_subgraph_relabels_nodes(self, tiny_graph):
+        sub = tiny_graph.subgraph([2, 3, 4])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 2  # edges (2,3) and (3,4)
+        assert sub.features == pytest.approx(tiny_graph.features[[2, 3, 4]])
+
+    def test_subgraph_empty_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.subgraph([])
+
+    def test_group_subgraph(self, labelled_graph):
+        sub = labelled_graph.group_subgraph(labelled_graph.groups[0])
+        assert sub.n_nodes == 4
+        assert sub.n_edges == 3
+
+    def test_with_groups_and_features_copy(self, tiny_graph):
+        annotated = tiny_graph.with_groups([Group.from_nodes([0, 1])])
+        assert annotated.n_groups == 1 and tiny_graph.n_groups == 0
+        replaced = tiny_graph.with_features(np.zeros((6, 4)))
+        assert replaced.n_features == 4 and tiny_graph.n_features == 2
+
+    def test_add_nodes_and_edges(self, tiny_graph):
+        grown = tiny_graph.add_nodes_and_edges(np.ones((2, 2)), [(5, 6), (6, 7)])
+        assert grown.n_nodes == 8
+        assert grown.has_edge(6, 7)
+        assert tiny_graph.n_nodes == 6  # original untouched
+
+    def test_add_nodes_feature_dim_mismatch(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.add_nodes_and_edges(np.ones((1, 5)), [])
+
+    def test_anomaly_node_mask(self, labelled_graph):
+        mask = labelled_graph.anomaly_node_mask()
+        assert mask.sum() == 4
+        assert mask[6] and not mask[0]
+
+    def test_average_group_size(self, labelled_graph, tiny_graph):
+        assert labelled_graph.average_group_size() == pytest.approx(4.0)
+        assert tiny_graph.average_group_size() == 0.0
+
+    def test_connected_components_whole_graph(self, tiny_graph):
+        components = tiny_graph.connected_components()
+        assert len(components) == 1
+        assert components[0] == set(range(6))
+
+    def test_connected_components_subset(self, tiny_graph):
+        components = tiny_graph.connected_components([0, 1, 4, 5])
+        assert sorted(len(c) for c in components) == [2, 2]
+
+    def test_bfs_tree_depth_limit(self, tiny_graph):
+        parents = tiny_graph.bfs_tree(0, depth=1)
+        assert set(parents) == {0, 1, 2}
+        assert parents[0] == 0
+
+    def test_shortest_path(self, tiny_graph):
+        assert tiny_graph.shortest_path(0, 5) == [0, 2, 3, 4, 5]
+        assert tiny_graph.shortest_path(0, 0) == [0]
+
+    def test_shortest_path_cutoff(self, tiny_graph):
+        assert tiny_graph.shortest_path(0, 5, cutoff=2) is None
+
+    def test_shortest_path_disconnected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        assert graph.shortest_path(0, 3) is None
+
+    def test_validate_detects_nan_features(self):
+        graph = Graph(2, [(0, 1)], features=np.array([[np.nan], [1.0]]))
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_validate_passes_on_clean_graph(self, tiny_graph):
+        tiny_graph.validate()
+
+
+class TestAdjacencyTransforms:
+    def test_row_normalize_rows_sum_to_one(self):
+        matrix = np.array([[1.0, 3.0], [0.0, 0.0]])
+        normalized = row_normalize(matrix)
+        assert normalized[0].sum() == pytest.approx(1.0)
+        assert normalized[1].sum() == pytest.approx(0.0)
+
+    def test_normalized_adjacency_symmetric_and_bounded(self, tiny_graph):
+        matrix = normalized_adjacency(tiny_graph)
+        assert matrix == pytest.approx(matrix.T)
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_normalized_adjacency_no_self_loops(self, tiny_graph):
+        with_loops = normalized_adjacency(tiny_graph, add_self_loops=True)
+        without = normalized_adjacency(tiny_graph, add_self_loops=False)
+        assert with_loops.trace() > 0
+        assert without.trace() == pytest.approx(0.0)
+
+    def test_k_hop_matrix_standardised(self, tiny_graph):
+        matrix = k_hop_matrix(tiny_graph, 3)
+        assert matrix.max() == pytest.approx(1.0)
+        assert (matrix >= 0).all()
+
+    def test_k_hop_one_equals_scaled_adjacency(self, tiny_graph):
+        assert k_hop_matrix(tiny_graph, 1) == pytest.approx(tiny_graph.adjacency())
+
+    def test_k_hop_invalid_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            k_hop_matrix(tiny_graph, 0)
+
+    def test_graphsnn_symmetric_nonnegative_and_on_edges_only(self, tiny_graph):
+        weighted = graphsnn_weighted_adjacency(tiny_graph)
+        adjacency = tiny_graph.adjacency()
+        assert weighted == pytest.approx(weighted.T)
+        assert (weighted >= 0).all()
+        assert ((weighted > 0) == (adjacency > 0)).all()
+
+    def test_graphsnn_triangle_edges_weighted_higher_than_bridge(self, tiny_graph):
+        # Edge (0,1) belongs to a triangle; edge (3,4) is a bridge on the path.
+        weighted = graphsnn_weighted_adjacency(tiny_graph, normalize=False)
+        assert weighted[0, 1] > weighted[3, 4]
+
+    def test_reconstruction_target_dispatch(self, tiny_graph):
+        assert reconstruction_target(tiny_graph, "adjacency") == pytest.approx(adjacency_matrix(tiny_graph))
+        assert reconstruction_target(tiny_graph, "k_hop", k=2) == pytest.approx(k_hop_matrix(tiny_graph, 2))
+        with pytest.raises(ValueError):
+            reconstruction_target(tiny_graph, "k_hop")
+        with pytest.raises(ValueError):
+            reconstruction_target(tiny_graph, "nonsense")
+
+
+class TestBuilders:
+    def test_networkx_roundtrip(self, tiny_graph):
+        nx_graph = graph_to_networkx(tiny_graph)
+        back = graph_from_networkx(nx_graph)
+        assert back.n_nodes == tiny_graph.n_nodes
+        assert set(back.edges) == set(tiny_graph.edges)
+        assert back.features == pytest.approx(tiny_graph.features)
+
+    def test_graph_from_networkx_without_features(self):
+        nx_graph = nx.path_graph(4)
+        graph = graph_from_networkx(nx_graph)
+        assert graph.n_features == 1
+        assert graph.n_edges == 3
+
+    def test_union_of_groups(self):
+        groups = [Group.from_nodes([0, 1]), Group.from_nodes([1, 2, 3])]
+        assert union_of_groups(groups) == {0, 1, 2, 3}
+
+    def test_groups_from_components_respects_min_size(self, tiny_graph):
+        groups = groups_from_components(tiny_graph, [0, 1, 4], min_size=2)
+        assert len(groups) == 1
+        assert groups[0].nodes == frozenset({0, 1})
+
+    def test_groups_from_components_includes_internal_edges(self, tiny_graph):
+        groups = groups_from_components(tiny_graph, [0, 1, 2], min_size=2)
+        assert groups[0].edges == frozenset({(0, 1), (0, 2), (1, 2)})

@@ -1,0 +1,129 @@
+"""Unit tests for candidate-group sampling (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.sampling import CandidateGroupSampler, SamplerConfig, cycle_search, path_search, tree_search
+from repro.sampling.searches import merge_groups
+
+
+@pytest.fixture
+def ring_graph() -> Graph:
+    """An 8-node ring plus a chord, giving paths, trees and cycles to find."""
+    edges = [(i, (i + 1) % 8) for i in range(8)] + [(0, 4)]
+    return Graph(8, edges, np.zeros((8, 2)))
+
+
+class TestPathSearch:
+    def test_shortest_path_found(self, ring_graph):
+        group = path_search(ring_graph, 0, 3)
+        assert group is not None
+        assert group.label == "path"
+        # The chord (0, 4) makes 0-4-3 the shortest route.
+        assert len(group) == 3
+        assert {0, 3} <= group.nodes
+
+    def test_uses_chord_shortcut(self, ring_graph):
+        group = path_search(ring_graph, 1, 4)
+        assert len(group) <= 4
+
+    def test_disconnected_returns_none(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        assert path_search(graph, 0, 3) is None
+
+    def test_max_length_cutoff(self, ring_graph):
+        assert path_search(ring_graph, 2, 7, max_length=2) is None
+
+    def test_same_node_returns_none(self, ring_graph):
+        assert path_search(ring_graph, 2, 2) is None
+
+
+class TestTreeSearch:
+    def test_tree_contains_root_neighbourhood(self, ring_graph):
+        group = tree_search(ring_graph, 0, 2, depth=1)
+        assert group is not None
+        assert group.label == "tree"
+        assert 0 in group and 1 in group and 7 in group
+
+    def test_tree_includes_far_anchor_when_reachable(self, ring_graph):
+        group = tree_search(ring_graph, 0, 2, depth=2)
+        assert 2 in group
+
+    def test_tree_edges_form_a_tree(self, ring_graph):
+        group = tree_search(ring_graph, 0, 5, depth=2, max_nodes=10)
+        assert len(group.edges) == len(group) - 1
+
+    def test_max_nodes_bound(self, ring_graph):
+        group = tree_search(ring_graph, 0, 4, depth=4, max_nodes=4)
+        assert len(group) <= 5  # max_nodes plus possibly the target anchor's chain
+
+    def test_isolated_root_returns_none(self):
+        graph = Graph(3, [(1, 2)])
+        assert tree_search(graph, 0, 1) is None
+
+
+class TestCycleSearch:
+    def test_finds_ring_cycle(self, ring_graph):
+        cycles = cycle_search(ring_graph, 0, max_cycle_length=8, max_cycles=5)
+        assert cycles
+        assert all(c.label == "cycle" for c in cycles)
+        assert any(len(c) == 5 for c in cycles)  # 0-1-2-3-4 via chord
+
+    def test_no_cycle_in_tree(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert cycle_search(graph, 0) == []
+
+    def test_respects_max_cycles(self, ring_graph):
+        cycles = cycle_search(ring_graph, 0, max_cycle_length=8, max_cycles=1)
+        assert len(cycles) == 1
+
+    def test_respects_max_length(self, ring_graph):
+        cycles = cycle_search(ring_graph, 0, max_cycle_length=4, max_cycles=5)
+        assert all(len(c) <= 5 for c in cycles)
+
+
+class TestMergeAndSampler:
+    def test_merge_groups_removes_duplicates(self, ring_graph):
+        a = path_search(ring_graph, 0, 3)
+        b = path_search(ring_graph, 0, 3)
+        c = path_search(ring_graph, 0, 2)
+        assert len(merge_groups([a, b, c])) == 2
+
+    def test_sampler_returns_groups_within_bounds(self, ring_graph):
+        sampler = CandidateGroupSampler(SamplerConfig(max_group_size=6, min_group_size=2))
+        groups = sampler.sample(ring_graph, [0, 3, 5])
+        assert groups
+        assert all(2 <= len(g) <= 6 for g in groups)
+
+    def test_sampler_empty_anchor_list(self, ring_graph):
+        assert CandidateGroupSampler().sample(ring_graph, []) == []
+
+    def test_sampler_respects_max_candidates(self, ring_graph):
+        sampler = CandidateGroupSampler(SamplerConfig(max_candidates=3))
+        groups = sampler.sample(ring_graph, list(range(8)))
+        assert len(groups) <= 3
+
+    def test_sampler_deterministic(self, ring_graph):
+        sampler_a = CandidateGroupSampler(SamplerConfig(seed=5))
+        sampler_b = CandidateGroupSampler(SamplerConfig(seed=5))
+        groups_a = sampler_a.sample(ring_graph, [0, 2, 4])
+        groups_b = sampler_b.sample(ring_graph, [0, 2, 4])
+        assert [g.node_tuple() for g in groups_a] == [g.node_tuple() for g in groups_b]
+
+    def test_sampler_covers_planted_group(self, example_graph):
+        """Anchors inside a planted group should produce a candidate covering most of it."""
+        target = example_graph.groups[0]
+        anchors = sorted(target.nodes)[:3]
+        groups = CandidateGroupSampler(SamplerConfig(max_path_length=15)).sample(example_graph, anchors)
+        best_overlap = max(len(g.nodes & target.nodes) / len(target.nodes) for g in groups)
+        assert best_overlap >= 0.5
+
+    def test_sample_with_scores_attaches_mean_scores(self, ring_graph):
+        node_scores = np.arange(8, dtype=float)
+        groups = CandidateGroupSampler().sample_with_scores(ring_graph, [0, 4], node_scores)
+        assert all(g.score is not None for g in groups)
+        for group in groups:
+            assert group.score == pytest.approx(node_scores[list(group.nodes)].mean())

@@ -1,0 +1,281 @@
+"""Unit tests for the autodiff engine (repro.tensor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, is_grad_enabled, no_grad
+
+
+def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of an array."""
+    gradient = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    for index in range(flat.size):
+        plus, minus = value.copy().reshape(-1), value.copy().reshape(-1)
+        plus[index] += eps
+        minus[index] -= eps
+        gradient.reshape(-1)[index] = (fn(plus.reshape(value.shape)) - fn(minus.reshape(value.shape))) / (2 * eps)
+    return gradient
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.data.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert Tensor([1.0]).requires_grad is False
+
+    def test_item_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).backward()
+
+    def test_detach_shares_data_but_no_grad(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert detached.requires_grad is False
+        assert np.shares_memory(detached.data, tensor.data)
+
+    def test_len_and_size(self):
+        tensor = Tensor(np.zeros((3, 4)))
+        assert len(tensor) == 3
+        assert tensor.size == 12
+        assert tensor.ndim == 2
+
+    def test_backward_without_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_zero_grad(self):
+        tensor = Tensor([2.0], requires_grad=True)
+        (tensor * 3.0).sum().backward()
+        assert tensor.grad is not None
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            tensor = Tensor([1.0], requires_grad=True)
+            assert tensor.requires_grad is False
+        assert is_grad_enabled()
+
+    def test_no_grad_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    """Analytic gradients must match central differences for every op."""
+
+    @pytest.mark.parametrize(
+        "name, fn",
+        [
+            ("add", lambda x: (x + 3.0).sum()),
+            ("radd", lambda x: (3.0 + x).sum()),
+            ("sub", lambda x: (x - 1.5).sum()),
+            ("rsub", lambda x: (1.5 - x).sum()),
+            ("mul", lambda x: (x * 2.5).sum()),
+            ("div", lambda x: (x / 2.0).sum()),
+            ("rdiv", lambda x: (2.0 / x).sum()),
+            ("neg", lambda x: (-x).sum()),
+            ("pow2", lambda x: (x ** 2).sum()),
+            ("pow3", lambda x: (x ** 3).mean()),
+            ("exp", lambda x: x.exp().sum()),
+            ("log", lambda x: x.log().sum()),
+            ("sqrt", lambda x: x.sqrt().sum()),
+            ("abs", lambda x: x.abs().sum()),
+            ("relu", lambda x: x.relu().sum()),
+            ("leaky_relu", lambda x: x.leaky_relu().sum()),
+            ("sigmoid", lambda x: x.sigmoid().sum()),
+            ("tanh", lambda x: x.tanh().sum()),
+            ("softplus", lambda x: x.softplus().sum()),
+            ("mean", lambda x: x.mean()),
+            ("sum_axis", lambda x: x.sum(axis=0).sum()),
+            ("mean_axis", lambda x: x.mean(axis=1, keepdims=True).sum()),
+            ("transpose", lambda x: (x.T * 2.0).sum()),
+            ("reshape", lambda x: x.reshape(6).sum()),
+            ("getitem", lambda x: x[0].sum()),
+            ("clip", lambda x: x.clip(0.3, 1.5).sum()),
+            ("chain", lambda x: ((x * 2 + 1).sigmoid() * x).sum()),
+        ],
+    )
+    def test_gradient_matches_numeric(self, name, fn):
+        base = np.array([[0.5, 0.7, 1.2], [0.9, 1.1, 0.4]])
+        tensor = Tensor(base.copy(), requires_grad=True)
+        fn(tensor).backward()
+        numeric = numeric_gradient(lambda arr: fn(Tensor(arr)).item(), base)
+        assert tensor.grad == pytest.approx(numeric, abs=1e-5)
+
+    def test_tensor_tensor_multiply_gradients(self):
+        a = Tensor([[1.0, 2.0]], requires_grad=True)
+        b = Tensor([[3.0, 4.0]], requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad == pytest.approx(b.data)
+        assert b.grad == pytest.approx(a.data)
+
+    def test_broadcast_add_gradient(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 2)
+        assert b.grad == pytest.approx([3.0, 3.0])
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 1.0).sum().backward()
+        (a * 1.0).sum().backward()
+        assert a.grad == pytest.approx([2.0])
+
+    def test_reused_tensor_in_graph(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a * a).sum().backward()
+        assert a.grad == pytest.approx([6.0])
+
+    def test_pow_non_scalar_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestMatmulGradients:
+    def test_matmul_2d_2d(self):
+        a_data = np.random.default_rng(0).normal(size=(3, 4))
+        b_data = np.random.default_rng(1).normal(size=(4, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad == pytest.approx(np.ones((3, 2)) @ b_data.T)
+        assert b.grad == pytest.approx(a_data.T @ np.ones((3, 2)))
+
+    def test_matmul_1d_1d(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (a @ b).backward()
+        assert a.grad == pytest.approx([4.0, 5.0, 6.0])
+        assert b.grad == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_matmul_2d_1d(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad == pytest.approx(np.tile([1.0, 2.0, 3.0], (2, 1)))
+        assert b.grad == pytest.approx([2.0, 2.0, 2.0])
+
+    def test_matmul_1d_2d(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad == pytest.approx([3.0, 3.0])
+        assert b.grad == pytest.approx(np.array([[1.0] * 3, [2.0] * 3]))
+
+    def test_rmatmul_with_numpy_left_operand(self):
+        b = Tensor(np.eye(2), requires_grad=True)
+        out = np.array([[2.0, 0.0], [0.0, 2.0]]) @ b
+        out.sum().backward()
+        assert b.grad == pytest.approx(2.0 * np.ones((2, 2)))
+
+
+class TestConcatenationAndStacking:
+    def test_concatenate_forward_and_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((3, 2), 2.0), requires_grad=True)
+        combined = Tensor.concatenate([a, b], axis=0)
+        assert combined.shape == (5, 2)
+        (combined * 3.0).sum().backward()
+        assert a.grad == pytest.approx(np.full((2, 2), 3.0))
+        assert b.grad == pytest.approx(np.full((3, 2), 3.0))
+
+    def test_concatenate_axis1(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        combined = Tensor.concatenate([a, b], axis=1)
+        assert combined.shape == (2, 5)
+        combined.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        stacked = Tensor.stack([a, b], axis=0)
+        assert stacked.shape == (2, 2)
+        stacked.sum().backward()
+        assert a.grad == pytest.approx([1.0, 1.0])
+        assert b.grad == pytest.approx([1.0, 1.0])
+
+
+class TestMaxAndDropout:
+    def test_max_global_gradient(self):
+        tensor = Tensor([[1.0, 5.0], [3.0, 2.0]], requires_grad=True)
+        tensor.max().backward()
+        expected = np.zeros((2, 2))
+        expected[0, 1] = 1.0
+        assert tensor.grad == pytest.approx(expected)
+
+    def test_max_axis(self):
+        tensor = Tensor([[1.0, 5.0], [3.0, 2.0]], requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        expected = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert tensor.grad == pytest.approx(expected)
+
+    def test_dropout_eval_mode_is_identity(self, rng):
+        tensor = Tensor(np.ones((4, 4)))
+        out = tensor.dropout(0.5, rng, training=False)
+        assert out.numpy() == pytest.approx(np.ones((4, 4)))
+
+    def test_dropout_preserves_expectation(self, rng):
+        tensor = Tensor(np.ones((200, 200)))
+        out = tensor.dropout(0.3, rng, training=True)
+        assert out.numpy().mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        probabilities = F.softmax(logits).numpy()
+        assert probabilities.sum(axis=1) == pytest.approx(np.ones(5))
+        assert (probabilities >= 0).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        assert F.log_softmax(logits).numpy() == pytest.approx(np.log(F.softmax(logits).numpy()), abs=1e-8)
+
+    def test_mse_loss_zero_for_identical(self):
+        values = Tensor(np.ones((3, 3)))
+        assert F.mse_loss(values, Tensor(np.ones((3, 3)))).item() == pytest.approx(0.0)
+
+    def test_binary_cross_entropy_bounds(self):
+        prediction = Tensor(np.array([[0.9, 0.1]]))
+        target = Tensor(np.array([[1.0, 0.0]]))
+        low = F.binary_cross_entropy(prediction, target).item()
+        high = F.binary_cross_entropy(Tensor(np.array([[0.1, 0.9]])), target).item()
+        assert low < high
+
+    def test_l2_normalize_unit_rows(self):
+        values = Tensor(np.random.default_rng(2).normal(size=(4, 6)))
+        norms = np.linalg.norm(F.l2_normalize(values).numpy(), axis=1)
+        assert norms == pytest.approx(np.ones(4))
+
+    def test_row_errors_l2_and_l1(self):
+        prediction = np.array([[1.0, 2.0], [0.0, 0.0]])
+        target = np.array([[1.0, 0.0], [3.0, 4.0]])
+        assert F.row_errors(prediction, target) == pytest.approx([2.0, 5.0])
+        assert F.row_errors(prediction, target, ord=1) == pytest.approx([2.0, 7.0])
+
+    def test_mse_gradient_flows_to_prediction_only(self):
+        prediction = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        target = Tensor(np.array([[0.0, 0.0]]), requires_grad=True)
+        F.mse_loss(prediction, target).backward()
+        assert prediction.grad is not None
+        assert target.grad is None
