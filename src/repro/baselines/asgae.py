@@ -43,6 +43,7 @@ class ASGAE(NodeScoringBaseline):
                 epochs=config.epochs,
                 learning_rate=config.learning_rate,
                 structure_weight=0.9,
+                sparse_propagation=True,
                 seed=config.seed,
             )
         )
@@ -53,6 +54,7 @@ class ASGAE(NodeScoringBaseline):
                 epochs=config.epochs,
                 learning_rate=config.learning_rate,
                 structure_weight=0.1,
+                sparse_propagation=True,
                 seed=config.seed + 1,
             )
         )

@@ -63,6 +63,7 @@ class ComGA(NodeScoringBaseline):
                 epochs=config.epochs,
                 learning_rate=config.learning_rate,
                 structure_weight=self.structure_weight,
+                sparse_propagation=True,
                 seed=config.seed,
             )
         )

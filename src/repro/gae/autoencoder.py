@@ -14,13 +14,16 @@ paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.graph import Graph, normalized_adjacency
 from repro.nn import Adam, GCNConv, MLP, Module
 from repro.tensor import Tensor, no_grad
+
+Propagation = Union[np.ndarray, sp.spmatrix]
 
 
 @dataclass
@@ -35,6 +38,10 @@ class GAEConfig:
     ``normalize_errors`` z-scores the structure and attribute error
     components across nodes before the weighted combination of Eqn. (1), so
     neither term dominates purely because of its scale.
+    ``sparse_propagation`` keeps the GCN propagation matrix in CSR form so
+    message passing runs as sparse-dense products and never materialises a
+    dense ``n × n`` matrix (the reconstruction *target* stays dense — the
+    sigmoid inner-product decoder is inherently dense).
     """
 
     hidden_dim: int = 64
@@ -45,6 +52,7 @@ class GAEConfig:
     structure_weight: float = 0.6
     feature_scaling: str = "minmax"
     normalize_errors: bool = True
+    sparse_propagation: bool = True
     seed: int = 0
 
 
@@ -70,7 +78,7 @@ class _GAEModel(Module):
             [config.embedding_dim, config.hidden_dim, n_features], rng, activation="relu"
         )
 
-    def encode(self, features: Tensor, propagation: np.ndarray) -> Tensor:
+    def encode(self, features: Tensor, propagation: Propagation) -> Tensor:
         hidden = self.encoder_1(features, propagation)
         return self.encoder_2(hidden, propagation)
 
@@ -97,7 +105,7 @@ class GraphAutoEncoder:
         self.config = config or GAEConfig()
         self._model: Optional[_GAEModel] = None
         self._graph: Optional[Graph] = None
-        self._propagation: Optional[np.ndarray] = None
+        self._propagation: Optional[Propagation] = None
         self._structure_target: Optional[np.ndarray] = None
         self._scaled_features: Optional[np.ndarray] = None
         self.training_result = GAETrainingResult()
@@ -122,8 +130,8 @@ class GraphAutoEncoder:
     def _build_structure_target(self, graph: Graph) -> np.ndarray:
         return graph.adjacency(sparse=False)
 
-    def _build_propagation(self, graph: Graph) -> np.ndarray:
-        return normalized_adjacency(graph)
+    def _build_propagation(self, graph: Graph) -> Propagation:
+        return normalized_adjacency(graph, sparse=self.config.sparse_propagation)
 
     # ------------------------------------------------------------------
     # Fitting

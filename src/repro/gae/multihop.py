@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+import scipy.sparse as sp
 
-from repro.gae.autoencoder import GAEConfig, GraphAutoEncoder
+from repro.gae.autoencoder import GAEConfig, GraphAutoEncoder, Propagation
 from repro.graph import Graph, graphsnn_weighted_adjacency, k_hop_matrix, row_normalize
 
 
@@ -76,7 +77,7 @@ class MultiHopGAE(GraphAutoEncoder):
             return graphsnn_weighted_adjacency(graph, lam=config.graphsnn_lambda)
         raise ValueError(f"unknown MH-GAE target '{config.target}'")
 
-    def _build_propagation(self, graph: Graph) -> np.ndarray:
+    def _build_propagation(self, graph: Graph) -> Propagation:
         config: MHGAEConfig = self.config  # type: ignore[assignment]
         one_hop = super()._build_propagation(graph)
         if config.target == "adjacency" or not config.propagate_with_target:
@@ -87,6 +88,15 @@ class MultiHopGAE(GraphAutoEncoder):
         target = self._structure_target
         if target is None:  # pragma: no cover - fit() always builds the target first
             target = self._build_structure_target(graph)
+        if sp.issparse(one_hop):
+            if config.target == "graphsnn":
+                # Ã shares the sparsity of A, so the mixed propagation stays
+                # sparse: one_hop + row-normalised (Ã + I), all in CSR.
+                target_norm = row_normalize(sp.csr_matrix(target) + sp.identity(graph.n_nodes, format="csr"))
+                return row_normalize((one_hop + target_norm).tocsr())
+            # k-hop reachability mass is dense for any connected graph;
+            # densify the mix rather than pretending it is sparse.
+            one_hop = one_hop.toarray()
         mixed = one_hop + row_normalize(target + np.eye(graph.n_nodes))
         return row_normalize(mixed)
 

@@ -16,6 +16,13 @@ from repro.nn import GCNConv, Module
 from repro.tensor import Tensor
 
 
+# Below this node count the constant overhead of CSR construction and
+# sparse-dense products outweighs the dense n² work they avoid; candidate
+# groups are usually far smaller, so this keeps the common case fast while
+# large subgraphs still propagate sparsely.
+_SPARSE_PROPAGATION_MIN_NODES = 256
+
+
 class GroupEncoder(Module):
     """Shared GCN encoder mapping a (small) group graph to one embedding row."""
 
@@ -34,7 +41,9 @@ class GroupEncoder(Module):
 
     def forward(self, group_graph: Graph) -> Tensor:
         """Embed one group graph; returns a ``(1, embedding_dim)`` tensor."""
-        propagation = normalized_adjacency(group_graph)
+        propagation = normalized_adjacency(
+            group_graph, sparse=group_graph.n_nodes >= _SPARSE_PROPAGATION_MIN_NODES
+        )
         features = Tensor(group_graph.features)
         hidden = self.conv_1(features, propagation)
         node_embeddings = self.conv_2(hidden, propagation)

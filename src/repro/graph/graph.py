@@ -3,13 +3,20 @@
 A ``Graph`` is an undirected attributed graph with
 
 * ``n_nodes`` nodes indexed ``0 .. n_nodes - 1``,
-* an edge list (stored canonically, no duplicates, no self loops),
+* a canonical ``(2, E)`` integer **edge index** (deduplicated, no self
+  loops, each column sorted ``u < v`` and columns in lexicographic order),
+* a cached CSR adjacency matrix derived from the edge index, from which all
+  neighbourhood queries (``neighbors`` / ``degree`` / ``has_edge``) are
+  answered without per-edge Python loops,
 * a dense feature matrix ``X`` of shape ``(n_nodes, n_features)``,
 * optional ground-truth anomaly :class:`~repro.graph.group.Group` objects,
 * optional per-node anomaly labels derived from those groups.
 
 The container is deliberately immutable-ish: mutating operations return new
-``Graph`` instances so detectors can never corrupt a dataset in place.
+``Graph`` instances so detectors can never corrupt a dataset in place.  The
+historical ``graph.edges`` tuple-of-pairs view is kept as a lazily built
+property for callers that want to iterate edges in Python; numeric code
+should prefer :attr:`edge_index` (see DESIGN.md, "Sparse-first engine").
 """
 
 from __future__ import annotations
@@ -18,8 +25,22 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components as _csgraph_components
 
-from repro.graph.group import Group, _canonical_edge
+from repro.graph.group import Group
+
+
+def _as_edge_array(edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Coerce any iterable of ``(u, v)`` pairs into an ``(E, 2)`` int array."""
+    if isinstance(edges, np.ndarray):
+        array = edges
+    else:
+        array = np.asarray(list(edges))
+    if array.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError(f"edges must be (u, v) pairs; got an array of shape {array.shape}")
+    return array.astype(np.int64, copy=False)
 
 
 class Graph:
@@ -38,15 +59,8 @@ class Graph:
         self.n_nodes = int(n_nodes)
         self.name = name
 
-        canonical: Set[Tuple[int, int]] = set()
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u == v:
-                continue  # self loops are dropped; GCN adds them explicitly
-            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
-                raise ValueError(f"edge ({u}, {v}) out of range for {self.n_nodes} nodes")
-            canonical.add(_canonical_edge(u, v))
-        self.edges: Tuple[Tuple[int, int], ...] = tuple(sorted(canonical))
+        self._edge_index = self._canonicalize(_as_edge_array(edges), self.n_nodes)
+        self._edge_index.setflags(write=False)
 
         if features is None:
             features = np.zeros((self.n_nodes, 1), dtype=np.float64)
@@ -65,13 +79,42 @@ class Graph:
 
         self._adjacency_cache: Optional[sp.csr_matrix] = None
         self._neighbor_cache: Optional[List[Tuple[int, ...]]] = None
+        self._edges_cache: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    @staticmethod
+    def _canonicalize(array: np.ndarray, n_nodes: int) -> np.ndarray:
+        """Sort endpoints, drop self loops, dedupe; returns a ``(2, E)`` array."""
+        if array.shape[0] == 0:
+            return np.zeros((2, 0), dtype=np.int64)
+        out_of_range = (array < 0) | (array >= n_nodes)
+        if out_of_range.any():
+            u, v = array[out_of_range.any(axis=1)][0]
+            raise ValueError(f"edge ({u}, {v}) out of range for {n_nodes} nodes")
+        lo = array.min(axis=1)
+        hi = array.max(axis=1)
+        keep = lo != hi  # self loops are dropped; GCN adds them explicitly
+        # Encoding (u, v) -> u * n + v dedupes and lexicographically sorts at once.
+        keys = np.unique(lo[keep] * np.int64(n_nodes) + hi[keep])
+        return np.vstack([keys // n_nodes, keys % n_nodes])
 
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
     @property
+    def edge_index(self) -> np.ndarray:
+        """Canonical ``(2, E)`` edge index (read-only; each column ``u < v``)."""
+        return self._edge_index
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Edges as a sorted tuple of ``(u, v)`` pairs (built lazily)."""
+        if self._edges_cache is None:
+            self._edges_cache = tuple(map(tuple, self._edge_index.T.tolist()))
+        return self._edges_cache
+
+    @property
     def n_edges(self) -> int:
-        return len(self.edges)
+        return self._edge_index.shape[1]
 
     @property
     def n_features(self) -> int:
@@ -96,43 +139,42 @@ class Graph:
         Parameters
         ----------
         sparse:
-            When True return a ``scipy.sparse.csr_matrix``; otherwise a dense
-            ``numpy`` array (fine for the graph sizes used in this repo).
+            When True return the cached ``scipy.sparse.csr_matrix`` (shared,
+            treat as read-only); otherwise a dense ``numpy`` array.
         """
         if self._adjacency_cache is None:
-            rows, cols, vals = [], [], []
-            for u, v in self.edges:
-                rows.extend((u, v))
-                cols.extend((v, u))
-                vals.extend((1.0, 1.0))
-            self._adjacency_cache = sp.csr_matrix(
-                (vals, (rows, cols)), shape=(self.n_nodes, self.n_nodes), dtype=np.float64
-            )
+            u, v = self._edge_index
+            rows = np.concatenate([u, v])
+            cols = np.concatenate([v, u])
+            vals = np.ones(rows.shape[0], dtype=np.float64)
+            cache = sp.csr_matrix((vals, (rows, cols)), shape=(self.n_nodes, self.n_nodes))
+            cache.sort_indices()  # sorted rows let has_edge binary-search
+            self._adjacency_cache = cache
         return self._adjacency_cache if sparse else self._adjacency_cache.toarray()
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Neighbours of ``node`` (sorted, excluding the node itself)."""
         if self._neighbor_cache is None:
-            adjacency: List[Set[int]] = [set() for _ in range(self.n_nodes)]
-            for u, v in self.edges:
-                adjacency[u].add(v)
-                adjacency[v].add(u)
-            self._neighbor_cache = [tuple(sorted(s)) for s in adjacency]
+            csr = self.adjacency(sparse=True)
+            splits = np.split(csr.indices, csr.indptr[1:-1])
+            self._neighbor_cache = [tuple(part.tolist()) for part in splits]
         return self._neighbor_cache[int(node)]
 
     def degree(self, node: Optional[int] = None):
         """Degree of one node, or the full degree vector when ``node`` is None."""
         if node is not None:
-            return len(self.neighbors(node))
-        degrees = np.zeros(self.n_nodes, dtype=np.int64)
-        for u, v in self.edges:
-            degrees[u] += 1
-            degrees[v] += 1
-        return degrees
+            csr = self.adjacency(sparse=True)
+            node = int(node)
+            return int(csr.indptr[node + 1] - csr.indptr[node])
+        return np.bincount(self._edge_index.ravel(), minlength=self.n_nodes)
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether the undirected edge ``(u, v)`` is present."""
-        return int(v) in self.neighbors(int(u))
+        """Whether the undirected edge ``(u, v)`` is present (O(log deg(u)))."""
+        csr = self.adjacency(sparse=True)
+        u, v = int(u), int(v)
+        start, end = int(csr.indptr[u]), int(csr.indptr[u + 1])
+        position = start + int(np.searchsorted(csr.indices[start:end], v))
+        return position < end and int(csr.indices[position]) == v
 
     # ------------------------------------------------------------------
     # Ground-truth helpers
@@ -166,21 +208,25 @@ class Graph:
     def subgraph(self, nodes: Iterable[int], name: Optional[str] = None) -> "Graph":
         """Induced subgraph on ``nodes`` with node indices relabelled to ``0..k-1``.
 
-        Group annotations are dropped (a subgraph is usually a candidate
-        group, not a labelled dataset).
+        Edge filtering is a vectorised boolean mask over the edge index —
+        this is a hot path for stage-3 candidate-group extraction.  Group
+        annotations are dropped (a subgraph is usually a candidate group,
+        not a labelled dataset).
         """
-        node_list = sorted({int(n) for n in nodes})
-        if not node_list:
+        node_array = np.unique(np.fromiter((int(n) for n in nodes), dtype=np.int64))
+        if node_array.size == 0:
             raise ValueError("cannot build an empty subgraph")
-        index = {node: i for i, node in enumerate(node_list)}
-        node_set = set(node_list)
-        sub_edges = [
-            (index[u], index[v]) for u, v in self.edges if u in node_set and v in node_set
-        ]
+        if node_array[0] < 0 or node_array[-1] >= self.n_nodes:
+            raise ValueError(f"subgraph nodes out of range for {self.n_nodes} nodes")
+        mapping = np.full(self.n_nodes, -1, dtype=np.int64)
+        mapping[node_array] = np.arange(node_array.size)
+        u, v = self._edge_index
+        keep = (mapping[u] >= 0) & (mapping[v] >= 0)
+        sub_edges = np.stack([mapping[u[keep]], mapping[v[keep]]], axis=1)
         return Graph(
-            n_nodes=len(node_list),
+            n_nodes=int(node_array.size),
             edges=sub_edges,
-            features=self.features[node_list],
+            features=self.features[node_array],
             name=name or f"{self.name}-sub",
         )
 
@@ -190,11 +236,11 @@ class Graph:
 
     def with_groups(self, groups: Sequence[Group]) -> "Graph":
         """Return a copy of this graph annotated with ``groups``."""
-        return Graph(self.n_nodes, self.edges, self.features, groups=groups, name=self.name)
+        return Graph(self.n_nodes, self._edge_index.T, self.features, groups=groups, name=self.name)
 
     def with_features(self, features: np.ndarray) -> "Graph":
         """Return a copy of this graph with a replaced feature matrix."""
-        return Graph(self.n_nodes, self.edges, features, groups=self.groups, name=self.name)
+        return Graph(self.n_nodes, self._edge_index.T, features, groups=self.groups, name=self.name)
 
     def add_nodes_and_edges(
         self,
@@ -214,7 +260,7 @@ class Graph:
         features = (
             np.vstack([self.features, new_node_features]) if new_node_features.size else self.features
         )
-        edges = list(self.edges) + [(int(u), int(v)) for u, v in new_edges]
+        edges = np.vstack([self._edge_index.T, _as_edge_array(new_edges)])
         return Graph(total, edges, features, groups=self.groups, name=name or self.name)
 
     # ------------------------------------------------------------------
@@ -223,11 +269,15 @@ class Graph:
     def connected_components(self, nodes: Optional[Iterable[int]] = None) -> List[Set[int]]:
         """Connected components of the whole graph or of an induced node subset."""
         if nodes is None:
-            candidates = set(range(self.n_nodes))
-        else:
-            candidates = {int(n) for n in nodes}
+            # Whole graph: delegate to the compiled scipy.sparse.csgraph BFS.
+            count, labels = _csgraph_components(self.adjacency(sparse=True), directed=False)
+            components: List[Set[int]] = [set() for _ in range(count)]
+            for node, label in enumerate(labels):
+                components[label].add(int(node))
+            return components
+        candidates = {int(n) for n in nodes}
         seen: Set[int] = set()
-        components: List[Set[int]] = []
+        components = []
         for start in sorted(candidates):
             if start in seen:
                 continue
@@ -299,12 +349,13 @@ class Graph:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Raise ``ValueError`` if internal invariants are violated."""
-        for u, v in self.edges:
-            if u == v:
-                raise ValueError("self loop found in canonical edge list")
-            if u > v:
-                raise ValueError("edge list is not canonical")
-        if len(set(self.edges)) != len(self.edges):
+        u, v = self._edge_index
+        if (u == v).any():
+            raise ValueError("self loop found in canonical edge list")
+        if (u > v).any():
+            raise ValueError("edge list is not canonical")
+        keys = u * np.int64(self.n_nodes) + v
+        if np.unique(keys).size != keys.size:
             raise ValueError("duplicate edges found")
         if not np.isfinite(self.features).all():
             raise ValueError("features contain NaN or infinite values")

@@ -12,15 +12,18 @@ reconstruction target recommended for MH-GAE.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.nn.init import glorot_uniform, zeros
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor
+from repro.tensor.functional import spmm
 
 Activation = Optional[str]
+Propagation = Union[np.ndarray, sp.spmatrix]
 
 _ACTIVATIONS: dict = {
     None: lambda x: x,
@@ -125,9 +128,11 @@ class MLP(Module):
 class GCNConv(Module):
     """Graph convolution ``act(\\hat{A} X W + b)`` with a precomputed propagation matrix.
 
-    The propagation matrix is passed at call time as a plain numpy array (it
-    is a constant of the optimisation problem), so the same layer works with
-    the normalised adjacency, its k-th powers, or the GraphSNN ``Ã``.
+    The propagation matrix is passed at call time — either a plain numpy
+    array or a ``scipy.sparse`` matrix (it is a constant of the optimisation
+    problem), so the same layer works with the normalised adjacency, its
+    k-th powers, or the GraphSNN ``Ã``.  Sparse propagation never densifies
+    ``\\hat{A}``: forward and backward both run as sparse-dense products.
     """
 
     def __init__(
@@ -142,9 +147,11 @@ class GCNConv(Module):
         self.linear = Linear(in_features, out_features, rng, bias=bias)
         self._activation = _resolve_activation(activation)
 
-    def forward(self, x: Tensor, propagation: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, propagation: Propagation) -> Tensor:
         x = x if isinstance(x, Tensor) else Tensor(x)
         support = self.linear(x)
+        if sp.issparse(propagation):
+            return self._activation(spmm(propagation, support))
         propagated = Tensor(np.asarray(propagation, dtype=np.float64)) @ support
         return self._activation(propagated)
 
@@ -171,11 +178,14 @@ class GraphSNNConv(Module):
         self.linear = Linear(in_features, out_features, rng)
         self._activation = _resolve_activation(activation)
 
-    def forward(self, x: Tensor, weighted_adjacency: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, weighted_adjacency: Propagation) -> Tensor:
         x = x if isinstance(x, Tensor) else Tensor(x)
+        support = self.linear(x)
+        if sp.issparse(weighted_adjacency):
+            mixing = (sp.identity(weighted_adjacency.shape[0], format="csr") + weighted_adjacency).tocsr()
+            return self._activation(spmm(mixing, support))
         weighted = np.asarray(weighted_adjacency, dtype=np.float64)
         mixing = np.eye(weighted.shape[0]) + weighted
-        support = self.linear(x)
         return self._activation(Tensor(mixing) @ support)
 
 

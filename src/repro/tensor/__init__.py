@@ -22,5 +22,6 @@ Example
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor import functional
+from repro.tensor.functional import spmm
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "spmm"]

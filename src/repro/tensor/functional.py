@@ -2,17 +2,41 @@
 
 These free functions mirror the small subset of ``torch.nn.functional``
 the models in this repository use: row-wise softmax / log-softmax,
-numerically stable binary cross entropy, mean squared error and L2
-normalisation.
+numerically stable binary cross entropy, mean squared error, L2
+normalisation, and a sparse-dense matrix product (``spmm``) for GCN
+propagation with scipy CSR matrices.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.tensor.tensor import Tensor
+
+
+def spmm(matrix: Union[sp.spmatrix, np.ndarray], x: Tensor) -> Tensor:
+    """Product ``matrix @ x`` where ``matrix`` is a constant sparse matrix.
+
+    The matrix (typically a normalised adjacency) is a constant of the
+    optimisation problem, so gradients flow only into ``x``:
+    ``d(loss)/dx = matrixᵀ @ d(loss)/d(out)``.  Dense inputs fall back to
+    the ordinary autodiff matmul.
+    """
+    x_t = x if isinstance(x, Tensor) else Tensor(x)
+    if not sp.issparse(matrix):
+        return Tensor(np.asarray(matrix, dtype=np.float64)) @ x_t
+    csr = matrix.tocsr()
+    if csr.dtype != np.float64:
+        csr = csr.astype(np.float64)
+    data = np.asarray(csr @ x_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x_t._accumulate(np.asarray(csr.T @ np.asarray(grad, dtype=np.float64)))
+
+    return Tensor._make(data, (x_t,), backward, "spmm")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
