@@ -1,8 +1,9 @@
-"""Quickstart: detect anomaly groups in a small attributed graph.
+"""Quickstart: detect anomaly groups in small attributed graphs.
 
 Runs the full TP-GrGAD pipeline (MH-GAE anchor localization, candidate
-group sampling, TPGCL contrastive embedding, ECOD scoring) on the paper's
-illustrative example graph and prints the detected groups next to the
+group sampling, TPGCL contrastive embedding, ECOD scoring) on two seeded
+variants of the paper's illustrative example graph through the batched
+``fit_detect_many`` API, and prints the detected groups next to the
 planted ground truth.
 
 Run with::
@@ -17,28 +18,31 @@ from repro.datasets import make_example_graph
 
 
 def main() -> None:
-    graph = make_example_graph(seed=7)
-    print(f"Graph: {graph.n_nodes} nodes, {graph.n_edges} edges, "
-          f"{graph.n_groups} planted anomaly groups (avg size {graph.average_group_size():.1f})")
-
+    graphs = [make_example_graph(seed=seed) for seed in (7, 11)]
     detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
-    result = detector.fit_detect(graph)
 
-    print(f"\nAnchor nodes selected: {len(result.anchor_nodes)}")
-    print(f"Candidate groups sampled: {result.n_candidates}")
-    print(f"Groups flagged as anomalous (score >= {result.threshold:.3f}): {result.n_anomalous}")
+    # One call scores the whole batch; each graph is still scored
+    # independently, and repeated graphs would hit the stage cache.
+    results = detector.fit_detect_many(graphs)
 
-    print("\nTop 5 groups by anomaly score:")
-    for group in result.top_groups(5):
-        members = ", ".join(str(node) for node in sorted(group.nodes)[:8])
-        suffix = "..." if len(group) > 8 else ""
-        print(f"  score={group.score:.3f} size={len(group):2d} nodes=[{members}{suffix}]")
+    for graph, result in zip(graphs, results):
+        print(f"\n=== {graph.name}: {graph.n_nodes} nodes, {graph.n_edges} edges, "
+              f"{graph.n_groups} planted anomaly groups (avg size {graph.average_group_size():.1f})")
+        print(f"Anchor nodes selected: {len(result.anchor_nodes)}")
+        print(f"Candidate groups sampled: {result.n_candidates}")
+        print(f"Groups flagged as anomalous (score >= {result.threshold:.3f}): {result.n_anomalous}")
 
-    report = result.evaluate(graph)
-    print("\nEvaluation against the planted groups:")
-    print(f"  Completeness Ratio (CR): {report.cr:.2f}")
-    print(f"  Group-level F1:          {report.f1:.2f}")
-    print(f"  Group-level AUC:         {report.auc:.2f}")
+        print("Top 5 groups by anomaly score:")
+        for group in result.top_groups(5):
+            members = ", ".join(str(node) for node in sorted(group.nodes)[:8])
+            suffix = "..." if len(group) > 8 else ""
+            print(f"  score={group.score:.3f} size={len(group):2d} nodes=[{members}{suffix}]")
+
+        report = result.evaluate(graph)
+        print("Evaluation against the planted groups:")
+        print(f"  Completeness Ratio (CR): {report.cr:.2f}")
+        print(f"  Group-level F1:          {report.f1:.2f}")
+        print(f"  Group-level AUC:         {report.auc:.2f}")
 
 
 if __name__ == "__main__":

@@ -38,6 +38,12 @@ class TPGrGADConfig:
         When False the TPGCL stage is skipped and candidate groups are
         represented by their mean node features — the "w/o TPGCL" ablation
         of Table V.
+    cache_size:
+        Maximum number of per-graph stage outputs (anchors, candidates,
+        fitted models, embeddings) kept in the detector's LRU cache for
+        :meth:`~repro.core.TPGrGAD.fit_detect_many`.  Cached entries pin
+        their graph and fitted models in memory, so keep this small when
+        scoring streams of large graphs; ``0`` disables caching entirely.
     seed:
         Master random seed propagated to every stage.
     """
@@ -50,6 +56,7 @@ class TPGrGADConfig:
     detector: str = "ecod"
     contamination: float = 0.2
     use_tpgcl: bool = True
+    cache_size: int = 8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -57,6 +64,8 @@ class TPGrGADConfig:
             raise ValueError("anchor_fraction must be in (0, 1]")
         if not 0.0 < self.contamination < 1.0:
             raise ValueError("contamination must be in (0, 1)")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0 (0 disables caching)")
         # Propagate the master seed to stages that kept their default seed.
         if self.seed:
             if self.mhgae.seed == 0:

@@ -69,6 +69,24 @@ class GroupDetectionResult:
         order = np.argsort(-self.scores)[: max(0, int(k))]
         return [self.candidate_groups[i].with_score(float(self.scores[i])) for i in order]
 
+    def to_json_dict(self) -> dict:
+        """JSON-serialisable summary of this result.
+
+        Used by the golden end-to-end regression fixtures
+        (``tests/test_golden_regression.py``): candidate/flagged groups are
+        reduced to sorted node lists and scores to plain floats, so a
+        refactor of ``fit_detect`` / ``fit_detect_many`` can be diffed
+        against a stored oracle.
+        """
+        return {
+            "method": self.method,
+            "threshold": float(self.threshold),
+            "scores": [float(score) for score in self.scores],
+            "candidate_groups": [sorted(group.nodes) for group in self.candidate_groups],
+            "anomalous_groups": sorted(sorted(group.nodes) for group in self.anomalous_groups),
+            "anchor_nodes": sorted(int(node) for node in self.anchor_nodes),
+        }
+
     def evaluate(self, graph: Graph, truth_groups: Optional[Sequence[Group]] = None) -> EvaluationReport:
         """Score this result against the graph's ground-truth groups."""
         truth = list(truth_groups if truth_groups is not None else graph.groups)

@@ -21,13 +21,96 @@ should prefer :attr:`edge_index` (see DESIGN.md, "Sparse-first engine").
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+from scipy.sparse.csgraph import breadth_first_order as _csgraph_bfs_order
 from scipy.sparse.csgraph import connected_components as _csgraph_components
 
 from repro.graph.group import Group
+
+
+@dataclass(frozen=True)
+class MultiSourceBFS:
+    """Result of :meth:`Graph.multi_source_bfs` — one BFS forest per source.
+
+    All arrays have shape ``(n_sources, n_nodes)``:
+
+    * ``dist[s, v]`` — hops from ``sources[s]`` to ``v``; ``-1`` when ``v``
+      was not reached (disconnected or beyond the depth bound).
+    * ``parent[s, v]`` — BFS-tree parent of ``v`` (a source is its own
+      parent, unreached nodes hold ``-1``).
+    * ``order[s, v]`` — discovery index of ``v`` within BFS ``s``.  The
+      ordering is exactly that of a sequential BFS that scans each frontier
+      node's sorted neighbour list: level by level, ties broken first by
+      the parent's discovery index, then by node id.  This is what lets the
+      vectorized sampler reproduce the per-pair searches bit for bit.
+    """
+
+    sources: Tuple[int, ...]
+    dist: np.ndarray
+    parent: np.ndarray
+    order: np.ndarray
+
+    def path(self, row: int, target: int) -> Optional[List[int]]:
+        """Shortest path ``sources[row] -> target`` from the parent forest."""
+        target = int(target)
+        if self.dist[row, target] < 0:
+            return None
+        path = [target]
+        parents = self.parent[row]
+        while parents[path[-1]] != path[-1]:
+            path.append(int(parents[path[-1]]))
+        return list(reversed(path))
+
+
+def _bfs_forest_row(
+    csr: sp.csr_matrix,
+    source: int,
+    dist_row: np.ndarray,
+    parent_row: np.ndarray,
+    order_row: np.ndarray,
+    depth: Optional[int],
+) -> None:
+    """Fill one source's BFS dist/parent/order row (views into the forest).
+
+    The traversal itself is ``scipy.sparse.csgraph.breadth_first_order`` —
+    a compiled queue BFS that scans each CSR row in (sorted) index order,
+    i.e. exactly the discovery semantics of the sequential
+    :meth:`Graph.shortest_path` / :meth:`Graph.bfs_tree`.  Distances are
+    recovered from the discovery order with a searchsorted cascade over
+    the (non-decreasing) parent positions, one step per BFS level.
+    """
+    node_array, predecessors = _csgraph_bfs_order(csr, source, directed=True, return_predecessors=True)
+    reached = node_array.size
+
+    order_row[node_array] = np.arange(reached, dtype=order_row.dtype)
+    parents = predecessors[node_array]
+    parents[0] = source  # scipy marks the root unreachable (-9999)
+    parent_row[node_array] = parents
+
+    # Parent discovery positions are non-decreasing along the discovery
+    # order (BFS queue property), so each level ends where the parent
+    # position first reaches the previous level's end.
+    parent_positions = order_row[parents]
+    distances = np.empty(reached, dtype=dist_row.dtype)
+    level, start, end = 0, 0, 1
+    while start < reached:
+        distances[start:end] = level
+        level += 1
+        start, end = end, int(np.searchsorted(parent_positions, end, side="left"))
+    dist_row[node_array] = distances
+
+    if depth is not None:
+        cutoff = int(np.searchsorted(distances, depth, side="right"))
+        if cutoff < reached:
+            beyond = node_array[cutoff:]
+            dist_row[beyond] = -1
+            parent_row[beyond] = -1
+            order_row[beyond] = -1
 
 
 def _as_edge_array(edges: Iterable[Tuple[int, int]]) -> np.ndarray:
@@ -176,6 +259,22 @@ class Graph:
         position = start + int(np.searchsorted(csr.indices[start:end], v))
         return position < end and int(csr.indices[position]) == v
 
+    def fingerprint(self) -> str:
+        """Stable content hash of ``(n_nodes, edge_index, features)``.
+
+        Ground-truth groups and the name are excluded: detectors ignore
+        both, so two graphs with equal topology and attributes must share a
+        fingerprint for the pipeline's stage cache to hit.  The hash is
+        recomputed on every call — the features array is caller-owned and
+        writable, so memoizing here could serve stale fingerprints (and
+        silently wrong cache hits) after an in-place feature edit.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.int64(self.n_nodes).tobytes())
+        digest.update(np.ascontiguousarray(self._edge_index).tobytes())
+        digest.update(np.ascontiguousarray(self.features).tobytes())
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # Ground-truth helpers
     # ------------------------------------------------------------------
@@ -293,6 +392,40 @@ class Graph:
                         frontier.append(neighbor)
             components.append(component)
         return components
+
+    def multi_source_bfs(self, sources: Sequence[int], depth: Optional[int] = None) -> MultiSourceBFS:
+        """Run one BFS per source, batched, over the CSR adjacency.
+
+        This is the engine behind vectorized candidate-group sampling: a
+        single call answers every :meth:`shortest_path` / :meth:`bfs_tree`
+        query among the sources.  ``depth`` bounds the number of hops kept
+        (``None`` keeps each component exhaustively); the arrays of deeper
+        nodes are masked to ``-1``.
+
+        Discovery order, parents and tie-breaking match the sequential BFS
+        of :meth:`shortest_path` / :meth:`bfs_tree` exactly (see
+        :class:`MultiSourceBFS`): both scan each node's sorted neighbour
+        list in queue order, as does the compiled csgraph traversal used
+        here.
+        """
+        source_array = np.fromiter((int(s) for s in sources), dtype=np.int64)
+        if source_array.size and (source_array.min() < 0 or source_array.max() >= self.n_nodes):
+            raise ValueError(f"BFS sources out of range for {self.n_nodes} nodes")
+        n_sources = int(source_array.size)
+        dist = np.full((n_sources, self.n_nodes), -1, dtype=np.int32)
+        parent = np.full((n_sources, self.n_nodes), -1, dtype=np.int32)
+        order = np.full((n_sources, self.n_nodes), -1, dtype=np.int32)
+        csr = self.adjacency(sparse=True) if n_sources else None
+        for row, source in enumerate(source_array):
+            _bfs_forest_row(csr, int(source), dist[row], parent[row], order[row], depth)
+        return MultiSourceBFS(
+            sources=tuple(int(s) for s in source_array), dist=dist, parent=parent, order=order
+        )
+
+    def k_hop_nodes(self, sources: Sequence[int], k: int) -> List[np.ndarray]:
+        """Nodes within ``k`` hops of each source (sorted, source included)."""
+        bfs = self.multi_source_bfs(sources, depth=int(k))
+        return [np.flatnonzero(row >= 0) for row in bfs.dist]
 
     def bfs_tree(self, root: int, depth: int) -> Dict[int, int]:
         """Breadth-first tree from ``root`` to at most ``depth`` hops.

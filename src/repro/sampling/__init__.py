@@ -11,15 +11,21 @@ The union of the discovered node sets forms the candidate groups fed into
 TPGCL.  Overlapping / repeated groups are kept intentionally (the paper
 notes they act as natural data augmentation), but exact duplicates are
 deduplicated to bound the contrastive batch size.
+
+By default all searches are answered by the vectorized
+:class:`MultiSourceSearchEngine` (one batched BFS from every anchor);
+the per-pair reference searches remain available as the parity oracle.
 """
 
 from repro.sampling.searches import path_search, tree_search, cycle_search
+from repro.sampling.engine import MultiSourceSearchEngine
 from repro.sampling.sampler import CandidateGroupSampler, SamplerConfig
 
 __all__ = [
     "path_search",
     "tree_search",
     "cycle_search",
+    "MultiSourceSearchEngine",
     "CandidateGroupSampler",
     "SamplerConfig",
 ]

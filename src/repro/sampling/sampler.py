@@ -3,16 +3,27 @@
 For every pair of anchor nodes a path and a tree search are run; for every
 single anchor a cycle search is run.  The resulting groups (deduplicated by
 node set, size-bounded) are the candidate groups handed to TPGCL.
+
+Two execution strategies produce identical candidates (pinned by
+``tests/test_sampler_parity.py``):
+
+* ``SamplerConfig.vectorized = True`` (default) — all anchor pairs are
+  answered from one batched multi-source BFS via
+  :class:`repro.sampling.engine.MultiSourceSearchEngine`.
+* ``SamplerConfig.vectorized = False`` — the seed per-pair Python searches
+  of :mod:`repro.sampling.searches`, kept as the parity oracle and the
+  benchmark baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph import Graph, Group
+from repro.sampling.engine import MultiSourceSearchEngine
 from repro.sampling.searches import cycle_search, merge_groups, path_search, tree_search
 
 
@@ -23,6 +34,8 @@ class SamplerConfig:
     ``tree_depth`` is the ``t`` hyperparameter of Alg. 1; the size bounds
     keep candidate groups in the range where group-level anomalies live
     (tiny 1-node "groups" and giant hairballs are both uninformative).
+    ``vectorized`` selects the batched multi-source search engine over the
+    per-pair reference searches; both return identical candidates.
     """
 
     tree_depth: int = 2
@@ -34,52 +47,67 @@ class SamplerConfig:
     max_anchor_pairs: int = 400
     max_candidates: int = 300
     seed: int = 0
+    vectorized: bool = True
 
 
 class CandidateGroupSampler:
-    """Sample candidate anomaly groups from anchor nodes (Algorithm 1)."""
+    """Sample candidate anomaly groups from anchor nodes (Algorithm 1).
+
+    The sampler owns one random stream, created lazily from
+    ``config.seed`` and **advanced across calls**: the first
+    :meth:`sample` call reproduces the historical single-call behaviour
+    exactly, while repeated calls (e.g. over a batch of graphs) draw fresh
+    pair/candidate subsamples instead of silently reusing the first
+    call's indices.  Callers that need full control can thread an explicit
+    ``rng`` through instead.
+    """
 
     def __init__(self, config: Optional[SamplerConfig] = None) -> None:
         self.config = config or SamplerConfig()
+        self._rng: Optional[np.random.Generator] = None
 
-    def sample(self, graph: Graph, anchor_nodes: Sequence[int]) -> List[Group]:
+    @property
+    def rng(self) -> np.random.Generator:
+        """The sampler's persistent random stream (lazily seeded)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.config.seed)
+        return self._rng
+
+    def reset_rng(self, seed: Optional[int] = None) -> None:
+        """Rewind the persistent stream (to ``seed`` or ``config.seed``)."""
+        self._rng = np.random.default_rng(self.config.seed if seed is None else seed)
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        graph: Graph,
+        anchor_nodes: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Group]:
         """Return the candidate group set ``CG`` for the given anchors.
 
         Anchor pairs are enumerated in score order (the caller passes anchors
         sorted by decreasing anomaly score); if the quadratic pair count
         exceeds ``max_anchor_pairs`` a uniformly random subset of pairs is
         used instead, keeping the stage near-linear as argued in the paper's
-        complexity analysis.
+        complexity analysis.  ``rng`` overrides the sampler's persistent
+        stream for this call only.
         """
         config = self.config
         anchors = [int(a) for a in anchor_nodes]
         if not anchors:
             return []
-        rng = np.random.default_rng(config.seed)
+        rng = self.rng if rng is None else rng
 
         pairs = [(u, v) for i, u in enumerate(anchors) for v in anchors[i + 1:]]
         if len(pairs) > config.max_anchor_pairs:
             chosen = rng.choice(len(pairs), size=config.max_anchor_pairs, replace=False)
             pairs = [pairs[i] for i in chosen]
 
-        candidates: List[Group] = []
-        for u, v in pairs:
-            path_group = path_search(graph, u, v, max_length=config.max_path_length)
-            if path_group is not None:
-                candidates.append(path_group)
-            tree_group = tree_search(graph, u, v, depth=config.tree_depth, max_nodes=config.max_group_size)
-            if tree_group is not None:
-                candidates.append(tree_group)
-
-        for anchor in anchors:
-            candidates.extend(
-                cycle_search(
-                    graph,
-                    anchor,
-                    max_cycle_length=config.max_cycle_length,
-                    max_cycles=config.max_cycles_per_anchor,
-                )
-            )
+        if config.vectorized:
+            candidates = self._collect_vectorized(graph, anchors, pairs)
+        else:
+            candidates = self._collect_per_pair(graph, anchors, pairs)
 
         candidates = [
             group
@@ -93,11 +121,72 @@ class CandidateGroupSampler:
             candidates = [candidates[i] for i in sorted(chosen)]
         return candidates
 
-    def sample_with_scores(self, graph: Graph, anchor_nodes: Sequence[int], node_scores: np.ndarray) -> List[Group]:
+    # ------------------------------------------------------------------
+    def _collect_vectorized(
+        self, graph: Graph, anchors: List[int], pairs: List[Tuple[int, int]]
+    ) -> List[Group]:
+        """One batched BFS from all anchors answers every search."""
+        config = self.config
+        if config.max_path_length is None:
+            depth: Optional[int] = None
+        else:
+            depth = max(config.max_path_length, config.tree_depth, config.max_cycle_length)
+        engine = MultiSourceSearchEngine(graph, anchors, max_depth=depth)
+
+        candidates: List[Group] = []
+        for u, v in pairs:
+            path_group = engine.path_group(u, v, max_length=config.max_path_length)
+            if path_group is not None:
+                candidates.append(path_group)
+            tree_group = engine.tree_group(u, v, depth=config.tree_depth, max_nodes=config.max_group_size)
+            if tree_group is not None:
+                candidates.append(tree_group)
+        for anchor in anchors:
+            candidates.extend(
+                engine.cycle_groups(
+                    anchor,
+                    max_cycle_length=config.max_cycle_length,
+                    max_cycles=config.max_cycles_per_anchor,
+                )
+            )
+        return candidates
+
+    def _collect_per_pair(
+        self, graph: Graph, anchors: List[int], pairs: List[Tuple[int, int]]
+    ) -> List[Group]:
+        """The seed per-pair searches (parity oracle / benchmark baseline)."""
+        config = self.config
+        candidates: List[Group] = []
+        for u, v in pairs:
+            path_group = path_search(graph, u, v, max_length=config.max_path_length)
+            if path_group is not None:
+                candidates.append(path_group)
+            tree_group = tree_search(graph, u, v, depth=config.tree_depth, max_nodes=config.max_group_size)
+            if tree_group is not None:
+                candidates.append(tree_group)
+        for anchor in anchors:
+            candidates.extend(
+                cycle_search(
+                    graph,
+                    anchor,
+                    max_cycle_length=config.max_cycle_length,
+                    max_cycles=config.max_cycles_per_anchor,
+                )
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    def sample_with_scores(
+        self,
+        graph: Graph,
+        anchor_nodes: Sequence[int],
+        node_scores: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Group]:
         """Like :meth:`sample` but attaches the mean anchor score of each group.
 
         Useful for baselines that score groups by aggregating node scores.
         """
         node_scores = np.asarray(node_scores, dtype=np.float64)
-        groups = self.sample(graph, anchor_nodes)
+        groups = self.sample(graph, anchor_nodes, rng=rng)
         return [group.with_score(float(node_scores[list(group.nodes)].mean())) for group in groups]

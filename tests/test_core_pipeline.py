@@ -120,3 +120,101 @@ class TestPipelineStages:
         config.detector = "iforest"
         result = TPGrGAD(config).fit_detect(example_graph)
         assert result.n_candidates > 0
+
+
+class TestBatchedPipeline:
+    def test_fit_detect_many_matches_independent_runs(self, example_graph):
+        from repro.datasets import make_example_graph
+
+        other = make_example_graph(seed=11)
+        batched = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect_many([example_graph, other])
+        singles = [
+            TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(example_graph),
+            TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(other),
+        ]
+        for batch_result, single_result in zip(batched, singles):
+            assert batch_result.to_json_dict() == single_result.to_json_dict()
+
+    def test_repeated_graph_hits_stage_cache(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        results = detector.fit_detect_many([example_graph, example_graph])
+        assert detector.cache_misses == 1
+        assert detector.cache_hits == 1
+        assert results[0].to_json_dict() == results[1].to_json_dict()
+
+    def test_cache_persists_across_calls_and_can_be_cleared(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        detector.fit_detect(example_graph)
+        detector.fit_detect(example_graph)
+        assert detector.cache_hits == 1
+        detector.clear_cache()
+        detector.fit_detect(example_graph)
+        assert detector.cache_misses == 2
+
+    def test_cache_keyed_by_config(self, example_graph):
+        fast = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        fast.fit_detect(example_graph)
+        other = TPGrGAD(TPGrGADConfig.fast(seed=2))
+        other.fit_detect(example_graph)
+        assert other.cache_hits == 0 and other.cache_misses == 1
+
+    def test_cached_result_respects_new_threshold(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        detector.fit_detect(example_graph)
+        rethresholded = detector.fit_detect(example_graph, threshold=float("inf"))
+        assert detector.cache_hits == 1
+        assert rethresholded.n_anomalous == 0
+        assert rethresholded.n_candidates > 0
+
+    def test_cache_hit_restores_matching_stage_models(self, example_graph):
+        from repro.datasets import make_example_graph
+
+        other = make_example_graph(seed=11)
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        detector.fit_detect(example_graph)
+        first_scores = detector.mhgae.score_nodes().copy()
+        detector.fit_detect(other)
+        detector.fit_detect(example_graph)  # cache hit must restore g1's models
+        assert detector.mhgae.score_nodes() == pytest.approx(first_scores)
+
+    def test_mutating_a_result_does_not_corrupt_the_cache(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        first = detector.fit_detect(example_graph)
+        n_candidates = first.n_candidates
+        first.candidate_groups.append(Group.from_nodes([0, 1]))
+        first.embeddings[:] = 0.0
+        second = detector.fit_detect(example_graph)
+        assert detector.cache_hits == 1
+        assert second.n_candidates == n_candidates
+        assert np.abs(second.embeddings).sum() > 0.0
+
+    def test_cache_size_zero_disables_caching(self, example_graph):
+        config = TPGrGADConfig.fast(seed=1)
+        config.cache_size = 0
+        detector = TPGrGAD(config)
+        results = detector.fit_detect_many([example_graph, example_graph])
+        assert detector.cache_hits == 0
+        assert detector.cache_misses == 2
+        assert results[0].to_json_dict() == results[1].to_json_dict()
+
+    def test_fingerprint_tracks_inplace_feature_edits(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        detector.fit_detect(example_graph)
+        example_graph.features[0, 0] += 1.0
+        try:
+            detector.fit_detect(example_graph)
+            assert detector.cache_hits == 0  # mutated graph must miss the cache
+        finally:
+            example_graph.features[0, 0] -= 1.0  # session-scoped fixture
+
+    def test_fit_detect_many_empty_list(self):
+        assert TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect_many([]) == []
+
+    def test_result_to_json_dict_roundtrips_through_json(self, example_graph):
+        import json
+
+        result = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(example_graph)
+        payload = result.to_json_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert len(payload["scores"]) == result.n_candidates
+        assert payload["anomalous_groups"] == sorted(sorted(g.nodes) for g in result.anomalous_groups)

@@ -261,3 +261,94 @@ class TestBuilders:
     def test_groups_from_components_includes_internal_edges(self, tiny_graph):
         groups = groups_from_components(tiny_graph, [0, 1, 2], min_size=2)
         assert groups[0].edges == frozenset({(0, 1), (0, 2), (1, 2)})
+
+
+class TestMultiSourceBFS:
+    def test_distances_match_sequential_bfs(self, tiny_graph):
+        bfs = tiny_graph.multi_source_bfs(range(tiny_graph.n_nodes))
+        for source in range(tiny_graph.n_nodes):
+            for target in range(tiny_graph.n_nodes):
+                path = tiny_graph.shortest_path(source, target)
+                if path is None:
+                    assert bfs.dist[source, target] == -1
+                else:
+                    assert bfs.dist[source, target] == len(path) - 1
+
+    def test_path_reconstruction_matches_shortest_path(self, tiny_graph):
+        sources = [0, 3, 5]
+        bfs = tiny_graph.multi_source_bfs(sources)
+        for row, source in enumerate(sources):
+            for target in range(tiny_graph.n_nodes):
+                assert bfs.path(row, target) == tiny_graph.shortest_path(source, target)
+
+    def test_depth_bound_limits_exploration(self, tiny_graph):
+        bfs = tiny_graph.multi_source_bfs([0], depth=1)
+        reached = set(np.flatnonzero(bfs.dist[0] >= 0).tolist())
+        assert reached == {0, 1, 2}
+
+    def test_parents_match_bfs_tree(self, tiny_graph):
+        bfs = tiny_graph.multi_source_bfs([0, 4], depth=2)
+        for row, source in enumerate([0, 4]):
+            parents = tiny_graph.bfs_tree(source, 2)
+            for node, parent in parents.items():
+                assert int(bfs.parent[row, node]) == parent
+
+    def test_discovery_order_is_level_then_parent_then_id(self, tiny_graph):
+        bfs = tiny_graph.multi_source_bfs([0])
+        order = bfs.order[0]
+        dist = bfs.dist[0]
+        reached = np.flatnonzero(dist >= 0)
+        # Orders are a permutation of 0..k-1 and respect BFS levels.
+        assert sorted(order[reached].tolist()) == list(range(reached.size))
+        for u in reached:
+            for v in reached:
+                if dist[u] < dist[v]:
+                    assert order[u] < order[v]
+
+    def test_empty_source_list(self, tiny_graph):
+        bfs = tiny_graph.multi_source_bfs([])
+        assert bfs.dist.shape == (0, tiny_graph.n_nodes)
+
+    def test_source_out_of_range_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.multi_source_bfs([99])
+
+    def test_duplicate_sources_get_identical_rows(self, tiny_graph):
+        bfs = tiny_graph.multi_source_bfs([2, 2])
+        assert (bfs.dist[0] == bfs.dist[1]).all()
+        assert (bfs.parent[0] == bfs.parent[1]).all()
+        assert (bfs.order[0] == bfs.order[1]).all()
+
+    def test_depth_bound_masks_parent_and_order(self, tiny_graph):
+        bounded = tiny_graph.multi_source_bfs([0], depth=2)
+        unbounded = tiny_graph.multi_source_bfs([0])
+        beyond = unbounded.dist[0] > 2
+        assert (bounded.dist[0][beyond] == -1).all()
+        assert (bounded.parent[0][beyond] == -1).all()
+        assert (bounded.order[0][beyond] == -1).all()
+        within = ~beyond & (unbounded.dist[0] >= 0)
+        assert (bounded.dist[0][within] == unbounded.dist[0][within]).all()
+        assert (bounded.parent[0][within] == unbounded.parent[0][within]).all()
+
+    def test_k_hop_nodes(self, tiny_graph):
+        hops = tiny_graph.k_hop_nodes([0, 5], k=2)
+        assert set(hops[0].tolist()) == {0, 1, 2, 3}
+        assert set(hops[1].tolist()) == {3, 4, 5}
+
+
+class TestFingerprint:
+    def test_stable_across_equal_graphs(self, tiny_graph):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]
+        features = np.arange(12, dtype=float).reshape(6, 2)
+        twin = Graph(6, edges, features, name="other-name")
+        assert tiny_graph.fingerprint() == twin.fingerprint()
+
+    def test_sensitive_to_topology_and_features(self, tiny_graph):
+        extra_edge = Graph(6, list(tiny_graph.edges) + [(0, 5)], tiny_graph.features)
+        assert extra_edge.fingerprint() != tiny_graph.fingerprint()
+        shifted = tiny_graph.with_features(tiny_graph.features + 1.0)
+        assert shifted.fingerprint() != tiny_graph.fingerprint()
+
+    def test_ignores_ground_truth_groups(self, tiny_graph):
+        annotated = tiny_graph.with_groups([Group.from_nodes([0, 1, 2])])
+        assert annotated.fingerprint() == tiny_graph.fingerprint()

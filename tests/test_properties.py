@@ -9,6 +9,7 @@ from hypothesis import given, settings, strategies as st
 from repro.graph import Graph, Group, graphsnn_weighted_adjacency, k_hop_matrix, normalized_adjacency
 from repro.metrics import completeness_ratio, completeness_score, roc_auc_score
 from repro.outlier.base import min_max_normalize
+from repro.sampling import CandidateGroupSampler, SamplerConfig
 from repro.tensor import Tensor
 
 
@@ -159,6 +160,86 @@ class TestMetricProperties:
     def test_min_max_normalize_bounds(self, values):
         normalized = min_max_normalize(np.array(values))
         assert (normalized >= 0.0).all() and (normalized <= 1.0 + 1e-12).all()
+
+
+# ----------------------------------------------------------------------------
+# Candidate-group sampler invariants (Algorithm 1)
+# ----------------------------------------------------------------------------
+def _connected_via_own_edges(group: Group) -> bool:
+    """Whether the group's internal edge set connects its node set."""
+    if len(group) <= 1:
+        return True
+    adjacency = {node: set() for node in group.nodes}
+    for u, v in group.edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    start = next(iter(group.nodes))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        seen.update(adjacency[frontier.pop()] - seen)
+        frontier = [n for n in seen if adjacency[n] - seen] if len(seen) < len(group) else []
+    return seen == group.nodes
+
+
+class TestSamplerProperties:
+    @given(random_graph_strategy(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_groups_respect_bounds_and_graph_membership(self, spec, seed):
+        n, edges = spec
+        graph = Graph(n, edges, np.zeros((n, 1)))
+        anchors = sorted(set(range(0, n, 2)) | {n - 1})
+        config = SamplerConfig(min_group_size=2, max_group_size=8, seed=seed)
+        for group in CandidateGroupSampler(config).sample(graph, anchors):
+            assert config.min_group_size <= len(group) <= config.max_group_size
+            assert all(0 <= node < n for node in group.nodes)
+
+    @given(random_graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_path_groups_are_connected(self, spec):
+        n, edges = spec
+        graph = Graph(n, edges, np.zeros((n, 1)))
+        anchors = list(range(n))[:8]
+        groups = CandidateGroupSampler(SamplerConfig(seed=1)).sample(graph, anchors)
+        for group in groups:
+            if group.label == "path":
+                assert len(group.edges) == len(group) - 1
+                assert _connected_via_own_edges(group)
+            elif group.label in ("tree", "cycle"):
+                assert _connected_via_own_edges(group)
+
+    @given(random_graph_strategy(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_under_fixed_seed(self, spec, seed):
+        n, edges = spec
+        graph = Graph(n, edges, np.zeros((n, 1)))
+        anchors = list(range(n))[:7]
+        config = SamplerConfig(max_anchor_pairs=8, max_candidates=10, seed=seed)
+        first = CandidateGroupSampler(config).sample(graph, anchors)
+        second = CandidateGroupSampler(config).sample(graph, anchors)
+        assert [g.node_tuple() for g in first] == [g.node_tuple() for g in second]
+
+    @given(random_graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_no_duplicate_node_sets(self, spec):
+        n, edges = spec
+        graph = Graph(n, edges, np.zeros((n, 1)))
+        groups = CandidateGroupSampler(SamplerConfig(seed=2)).sample(graph, list(range(min(n, 8))))
+        node_tuples = [g.node_tuple() for g in groups]
+        assert len(node_tuples) == len(set(node_tuples))
+
+    @given(random_graph_strategy(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_matches_per_pair(self, spec, seed):
+        n, edges = spec
+        graph = Graph(n, edges, np.zeros((n, 1)))
+        anchors = list(range(n))[:7]
+        config = SamplerConfig(max_anchor_pairs=8, max_candidates=10, seed=seed, vectorized=True)
+        from dataclasses import replace
+
+        fast = CandidateGroupSampler(config).sample(graph, anchors)
+        slow = CandidateGroupSampler(replace(config, vectorized=False)).sample(graph, anchors)
+        assert [g.node_tuple() for g in fast] == [g.node_tuple() for g in slow]
 
 
 # ----------------------------------------------------------------------------

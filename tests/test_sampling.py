@@ -113,6 +113,53 @@ class TestMergeAndSampler:
         groups_b = sampler_b.sample(ring_graph, [0, 2, 4])
         assert [g.node_tuple() for g in groups_a] == [g.node_tuple() for g in groups_b]
 
+    def test_repeated_calls_advance_the_rng(self):
+        """Repeated ``sample`` calls must not reuse the same subsampled pairs.
+
+        The seed implementation rebuilt ``default_rng(config.seed)`` inside
+        every call, so scoring a batch of graphs re-drew identical pair
+        indices each time.  The stream now persists across calls: the first
+        call is bit-identical to the historical behaviour, later calls draw
+        fresh subsamples.
+        """
+        rng = np.random.default_rng(0)
+        graph = Graph(40, rng.integers(0, 40, size=(100, 2)), np.zeros((40, 1)))
+        anchors = list(range(20))  # 190 pairs, far above the cap below
+        config = SamplerConfig(max_anchor_pairs=25, seed=9)
+
+        sampler = CandidateGroupSampler(config)
+        first = [g.node_tuple() for g in sampler.sample(graph, anchors)]
+        second = [g.node_tuple() for g in sampler.sample(graph, anchors)]
+        fresh = [g.node_tuple() for g in CandidateGroupSampler(config).sample(graph, anchors)]
+        assert first == fresh  # first call unchanged vs. a fresh sampler
+        assert first != second  # the stream advanced between calls
+
+    def test_explicit_rng_overrides_persistent_stream(self):
+        rng = np.random.default_rng(0)
+        graph = Graph(40, rng.integers(0, 40, size=(100, 2)), np.zeros((40, 1)))
+        anchors = list(range(20))
+        config = SamplerConfig(max_anchor_pairs=25, seed=9)
+
+        sampler = CandidateGroupSampler(config)
+        baseline = [g.node_tuple() for g in sampler.sample(graph, anchors)]
+        # An explicit rng seeded like the config reproduces the first call,
+        # regardless of how far the persistent stream has advanced.
+        explicit = [
+            g.node_tuple()
+            for g in sampler.sample(graph, anchors, rng=np.random.default_rng(9))
+        ]
+        assert explicit == baseline
+
+    def test_reset_rng_rewinds_the_stream(self):
+        rng = np.random.default_rng(0)
+        graph = Graph(40, rng.integers(0, 40, size=(100, 2)), np.zeros((40, 1)))
+        anchors = list(range(20))
+        sampler = CandidateGroupSampler(SamplerConfig(max_anchor_pairs=25, seed=9))
+        first = [g.node_tuple() for g in sampler.sample(graph, anchors)]
+        sampler.sample(graph, anchors)
+        sampler.reset_rng()
+        assert [g.node_tuple() for g in sampler.sample(graph, anchors)] == first
+
     def test_sampler_covers_planted_group(self, example_graph):
         """Anchors inside a planted group should produce a candidate covering most of it."""
         target = example_graph.groups[0]
