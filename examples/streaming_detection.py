@@ -1,0 +1,59 @@
+"""Streaming laundering-ring detection on a live transaction feed.
+
+The batch examples score a frozen snapshot; production AML systems watch a
+*stream*.  This script replays an AMLSim-style transaction feed — accounts
+appearing, transactions arriving, one laundering ring planted mid-stream —
+through the incremental detector, and shows:
+
+* cheap incremental ticks (dirty-region re-scoring) between drift-budget
+  refits,
+* the planted burst being picked up within a tick or two of arriving,
+* the final streamed result matching the batch pipeline on the final
+  snapshot exactly.
+
+Run with::
+
+    python examples/streaming_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets.stream import make_burst_stream
+from repro.stream import StreamConfig, replay_event_stream
+
+
+def main() -> None:
+    stream = make_burst_stream(dataset="simml", scale=0.15, seed=3, n_ticks=8)
+    print(
+        f"Transaction stream '{stream.name}': {stream.base.n_nodes} accounts at open, "
+        f"{stream.final.n_nodes} after {stream.n_ticks} ticks; "
+        f"laundering ring of {len(stream.burst_group)} accounts planted at tick {stream.burst_tick}"
+    )
+
+    config = TPGrGADConfig.fast(seed=1)
+    summary = replay_event_stream(
+        stream, config, StreamConfig(refit_policy="budget", drift_budget=0.25)
+    )
+    print()
+    print(summary.render())
+
+    print("\nPer-tick trace:")
+    for i, tick in enumerate(summary.ticks):
+        print(
+            f"  tick {i}: {tick.mode:11s} {tick.seconds * 1e3:7.1f}ms  "
+            f"touched={tick.n_touched:3d} dirty-ball={tick.dirty_ball:4d} "
+            f"pairs reused/redone {tick.pairs_reused}/{tick.pairs_recomputed}  "
+            f"flagged={tick.result.n_anomalous}"
+        )
+
+    batch = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(stream.final)
+    drift = float(np.max(np.abs(summary.final_result.scores - batch.scores)))
+    print(f"\nFinal streamed scores vs batch fit_detect on the final snapshot: "
+          f"max |difference| = {drift:.2e}")
+
+
+if __name__ == "__main__":
+    main()

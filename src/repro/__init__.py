@@ -33,6 +33,10 @@ _LAZY_ATTRS = {
     "completeness_ratio": ("repro.metrics", "completeness_ratio"),
     "group_f1_score": ("repro.metrics", "group_f1_score"),
     "group_auc": ("repro.metrics", "group_auc"),
+    "GraphDelta": ("repro.stream", "GraphDelta"),
+    "StreamingGraph": ("repro.stream", "StreamingGraph"),
+    "IncrementalTPGrGAD": ("repro.stream", "IncrementalTPGrGAD"),
+    "StreamConfig": ("repro.stream", "StreamConfig"),
 }
 
 
@@ -52,5 +56,9 @@ __all__ = [
     "completeness_ratio",
     "group_f1_score",
     "group_auc",
+    "GraphDelta",
+    "StreamingGraph",
+    "IncrementalTPGrGAD",
+    "StreamConfig",
     "__version__",
 ]

@@ -20,7 +20,29 @@ from repro.datasets.citation import make_cora_group, make_citeseer_group
 from repro.datasets.example import make_example_graph
 from repro.datasets.registry import load_dataset, available_datasets, DATASET_LOADERS
 
+# Event-stream views (repro.datasets.stream) are exported lazily: they pull
+# in the full streaming subsystem (and with it the pipeline stages), which
+# plain dataset users should not pay for.
+_LAZY_ATTRS = {
+    "EventStream": ("repro.datasets.stream", "EventStream"),
+    "make_event_stream": ("repro.datasets.stream", "make_event_stream"),
+    "make_burst_stream": ("repro.datasets.stream", "make_burst_stream"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY_ATTRS:
+        import importlib
+
+        module_name, attr = _LAZY_ATTRS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro.datasets' has no attribute '{name}'")
+
+
 __all__ = [
+    "EventStream",
+    "make_event_stream",
+    "make_burst_stream",
     "GroupSpec",
     "inject_groups",
     "attach_group_to_background",

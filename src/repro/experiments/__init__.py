@@ -4,7 +4,7 @@ Each module exposes a ``run_*`` function returning plain-Python data
 (rows / series) plus a ``render_*`` helper that formats the result the way
 the paper presents it.  The CLI entry point is::
 
-    python -m repro.experiments <table1|table2|table3|table4|table5|figure5|figure6|figure7|figure8>
+    python -m repro.experiments <table1|table2|table3|table4|table5|figure5|figure6|figure7|figure8|stream>
 
 All experiments accept an :class:`ExperimentSettings` controlling dataset
 scale, the number of random seeds, and per-stage epoch budgets, so the same
@@ -21,8 +21,10 @@ from repro.experiments.figure5 import run_figure5, render_figure5
 from repro.experiments.figure6 import run_figure6, render_figure6
 from repro.experiments.figure7 import run_figure7, render_figure7
 from repro.experiments.figure8 import run_figure8, render_figure8
+from repro.experiments.stream import run_stream, render_stream
 
 EXPERIMENTS = {
+    "stream": (run_stream, render_stream),
     "table1": (run_table1, render_table1),
     "table2": (run_table2, render_table2),
     "table3": (run_table3, render_table3),
@@ -46,6 +48,8 @@ __all__ = [
     "run_figure6",
     "run_figure7",
     "run_figure8",
+    "run_stream",
+    "render_stream",
     "render_table1",
     "render_table2",
     "render_table3",

@@ -137,12 +137,24 @@ class Graph:
         groups: Optional[Sequence[Group]] = None,
         name: str = "graph",
     ) -> None:
+        edge_index = self._canonicalize(_as_edge_array(edges), int(n_nodes))
+        self._init_fields(int(n_nodes), edge_index, features, groups, name)
+
+    def _init_fields(
+        self,
+        n_nodes: int,
+        edge_index: np.ndarray,
+        features: Optional[np.ndarray],
+        groups: Optional[Sequence[Group]],
+        name: str,
+    ) -> None:
+        """Shared tail of ``__init__`` / :meth:`from_canonical`."""
         if n_nodes <= 0:
             raise ValueError("a graph needs at least one node")
         self.n_nodes = int(n_nodes)
         self.name = name
 
-        self._edge_index = self._canonicalize(_as_edge_array(edges), self.n_nodes)
+        self._edge_index = edge_index
         self._edge_index.setflags(write=False)
 
         if features is None:
@@ -163,6 +175,37 @@ class Graph:
         self._adjacency_cache: Optional[sp.csr_matrix] = None
         self._neighbor_cache: Optional[List[Tuple[int, ...]]] = None
         self._edges_cache: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    @classmethod
+    def from_canonical(
+        cls,
+        n_nodes: int,
+        edge_index: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        groups: Optional[Sequence[Group]] = None,
+        name: str = "graph",
+        adjacency: Optional[sp.csr_matrix] = None,
+    ) -> "Graph":
+        """Build a graph from an *already canonical* ``(2, E)`` edge index.
+
+        This is the trusted fast path used by the streaming subsystem: a
+        :class:`~repro.stream.StreamingGraph` maintains the canonical sorted
+        edge index itself (sorted-merge per delta), so re-running the
+        ``O(E log E)`` :meth:`_canonicalize` on every tick would throw that
+        work away.  The caller guarantees each column satisfies ``u < v``
+        with columns in strictly increasing lexicographic order —
+        :meth:`validate` checks exactly these invariants when in doubt.
+        ``adjacency`` optionally seeds the CSR cache (it must equal the
+        adjacency the edge index implies; again trusted, not checked).
+        """
+        edge_index = np.ascontiguousarray(np.asarray(edge_index, dtype=np.int64))
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            raise ValueError(f"edge_index must have shape (2, E); got {edge_index.shape}")
+        graph = cls.__new__(cls)
+        graph._init_fields(int(n_nodes), edge_index, features, groups, name)
+        if adjacency is not None:
+            graph._adjacency_cache = adjacency
+        return graph
 
     @staticmethod
     def _canonicalize(array: np.ndarray, n_nodes: int) -> np.ndarray:
@@ -426,6 +469,37 @@ class Graph:
         """Nodes within ``k`` hops of each source (sorted, source included)."""
         bfs = self.multi_source_bfs(sources, depth=int(k))
         return [np.flatnonzero(row >= 0) for row in bfs.dist]
+
+    def k_hop_ball(self, sources: Sequence[int], k: Optional[int]) -> np.ndarray:
+        """Union of the ``k``-hop balls around ``sources`` (sorted node ids).
+
+        Equals ``union(self.k_hop_nodes(sources, k))`` — i.e. the union over
+        the per-source forests of :meth:`multi_source_bfs` — but is computed
+        as one joint frontier expansion (``k`` boolean SpMVs over the CSR
+        adjacency) instead of one BFS per source, so it stays cheap even
+        when a streaming delta touches many nodes at once.  This is the
+        *dirty region* primitive of the streaming subsystem: every candidate
+        group a bounded search from an anchor outside the ball can produce
+        is provably unaffected by changes at ``sources`` (see DESIGN.md,
+        "Dirty-region invalidation").  ``k=None`` expands exhaustively
+        (the ball becomes the union of connected components).
+        """
+        source_array = np.fromiter((int(s) for s in sources), dtype=np.int64)
+        if source_array.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if source_array.min() < 0 or source_array.max() >= self.n_nodes:
+            raise ValueError(f"ball sources out of range for {self.n_nodes} nodes")
+        csr = self.adjacency(sparse=True)
+        reached = np.zeros(self.n_nodes, dtype=bool)
+        reached[source_array] = True
+        frontier = reached.copy()
+        hops = 0
+        while frontier.any() and (k is None or hops < int(k)):
+            hops += 1
+            expanded = (csr @ frontier.astype(np.float64)) > 0
+            frontier = expanded & ~reached
+            reached |= frontier
+        return np.flatnonzero(reached)
 
     def bfs_tree(self, root: int, depth: int) -> Dict[int, int]:
         """Breadth-first tree from ``root`` to at most ``depth`` hops.

@@ -19,7 +19,7 @@ the per-pair reference searches remain available as the parity oracle.
 
 from repro.sampling.searches import path_search, tree_search, cycle_search
 from repro.sampling.engine import MultiSourceSearchEngine
-from repro.sampling.sampler import CandidateGroupSampler, SamplerConfig
+from repro.sampling.sampler import CandidateGroupSampler, SampleCollection, SamplerConfig
 
 __all__ = [
     "path_search",
@@ -27,5 +27,6 @@ __all__ = [
     "cycle_search",
     "MultiSourceSearchEngine",
     "CandidateGroupSampler",
+    "SampleCollection",
     "SamplerConfig",
 ]

@@ -17,8 +17,8 @@ Two execution strategies produce identical candidates (pinned by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,55 @@ class SamplerConfig:
     max_candidates: int = 300
     seed: int = 0
     vectorized: bool = True
+
+    @property
+    def search_depth(self) -> Optional[int]:
+        """Hop radius a single search can explore from its anchor.
+
+        This is the engine's BFS depth bound and, equally, the *dirty-ball*
+        radius of the streaming subsystem: a change further than this many
+        hops from an anchor cannot alter any of that anchor's searches.
+        ``None`` (unbounded path search) means searches are only limited by
+        connectivity.
+        """
+        if self.max_path_length is None:
+            return None
+        return max(self.max_path_length, self.tree_depth, self.max_cycle_length)
+
+
+@dataclass
+class SampleCollection:
+    """Raw per-pair / per-anchor search results, before filter + merge + cap.
+
+    ``pair_groups`` maps each anchor pair ``(u, v)`` to its
+    ``(path_group, tree_group)`` results (either may be None);
+    ``anchor_cycles`` maps each anchor to its cycle groups.  The incremental
+    detector keeps one of these per refit and patches only the dirty
+    entries; :meth:`ordered_candidates` linearises the collection in exactly
+    the order the one-shot sampler emits candidates, so
+    ``finalize(collection.ordered_candidates(...))`` reproduces
+    :meth:`CandidateGroupSampler.sample` bit for bit.
+    """
+
+    pair_groups: Dict[Tuple[int, int], Tuple[Optional[Group], Optional[Group]]] = field(
+        default_factory=dict
+    )
+    anchor_cycles: Dict[int, List[Group]] = field(default_factory=dict)
+
+    def ordered_candidates(
+        self, pairs: Sequence[Tuple[int, int]], anchors: Sequence[int]
+    ) -> List[Group]:
+        """Candidates in canonical order: per-pair path/tree, then cycles."""
+        ordered: List[Group] = []
+        for pair in pairs:
+            path_group, tree_group = self.pair_groups[pair]
+            if path_group is not None:
+                ordered.append(path_group)
+            if tree_group is not None:
+                ordered.append(tree_group)
+        for anchor in anchors:
+            ordered.extend(self.anchor_cycles[anchor])
+        return ordered
 
 
 class CandidateGroupSampler:
@@ -93,87 +142,97 @@ class CandidateGroupSampler:
         complexity analysis.  ``rng`` overrides the sampler's persistent
         stream for this call only.
         """
-        config = self.config
         anchors = [int(a) for a in anchor_nodes]
         if not anchors:
             return []
         rng = self.rng if rng is None else rng
 
+        pairs = self.propose_pairs(anchors, rng)
+        collection = self.collect(graph, anchors, pairs)
+        return self.finalize(collection.ordered_candidates(pairs, anchors), rng)
+
+    # ------------------------------------------------------------------
+    # Structured stages (sample == propose_pairs -> collect -> finalize;
+    # the streaming subsystem calls them individually so it can reuse the
+    # unchanged parts of a previous collection).
+    # ------------------------------------------------------------------
+    def propose_pairs(
+        self, anchors: Sequence[int], rng: Optional[np.random.Generator] = None
+    ) -> List[Tuple[int, int]]:
+        """Enumerate (and, over budget, subsample) the anchor pairs to search."""
+        config = self.config
+        rng = self.rng if rng is None else rng
+        anchors = [int(a) for a in anchors]
         pairs = [(u, v) for i, u in enumerate(anchors) for v in anchors[i + 1:]]
         if len(pairs) > config.max_anchor_pairs:
             chosen = rng.choice(len(pairs), size=config.max_anchor_pairs, replace=False)
             pairs = [pairs[i] for i in chosen]
+        return pairs
 
-        if config.vectorized:
-            candidates = self._collect_vectorized(graph, anchors, pairs)
-        else:
-            candidates = self._collect_per_pair(graph, anchors, pairs)
+    def collect(
+        self, graph: Graph, anchors: Sequence[int], pairs: Sequence[Tuple[int, int]]
+    ) -> SampleCollection:
+        """Run every pair / cycle search, keeping the per-query structure."""
+        if self.config.vectorized:
+            return self._collect_vectorized(graph, list(anchors), list(pairs))
+        return self._collect_per_pair(graph, list(anchors), list(pairs))
 
-        candidates = [
+    def finalize(
+        self, candidates: Sequence[Group], rng: Optional[np.random.Generator] = None
+    ) -> List[Group]:
+        """Size-filter, dedupe and cap an ordered raw candidate list."""
+        config = self.config
+        rng = self.rng if rng is None else rng
+        kept = [
             group
             for group in candidates
             if config.min_group_size <= len(group) <= config.max_group_size
         ]
-        candidates = merge_groups(candidates)
-
-        if len(candidates) > config.max_candidates:
-            chosen = rng.choice(len(candidates), size=config.max_candidates, replace=False)
-            candidates = [candidates[i] for i in sorted(chosen)]
-        return candidates
+        kept = merge_groups(kept)
+        if len(kept) > config.max_candidates:
+            chosen = rng.choice(len(kept), size=config.max_candidates, replace=False)
+            kept = [kept[i] for i in sorted(chosen)]
+        return kept
 
     # ------------------------------------------------------------------
     def _collect_vectorized(
         self, graph: Graph, anchors: List[int], pairs: List[Tuple[int, int]]
-    ) -> List[Group]:
+    ) -> SampleCollection:
         """One batched BFS from all anchors answers every search."""
         config = self.config
-        if config.max_path_length is None:
-            depth: Optional[int] = None
-        else:
-            depth = max(config.max_path_length, config.tree_depth, config.max_cycle_length)
-        engine = MultiSourceSearchEngine(graph, anchors, max_depth=depth)
+        engine = MultiSourceSearchEngine(graph, anchors, max_depth=config.search_depth)
 
-        candidates: List[Group] = []
+        collection = SampleCollection()
         for u, v in pairs:
             path_group = engine.path_group(u, v, max_length=config.max_path_length)
-            if path_group is not None:
-                candidates.append(path_group)
             tree_group = engine.tree_group(u, v, depth=config.tree_depth, max_nodes=config.max_group_size)
-            if tree_group is not None:
-                candidates.append(tree_group)
+            collection.pair_groups[(u, v)] = (path_group, tree_group)
         for anchor in anchors:
-            candidates.extend(
-                engine.cycle_groups(
-                    anchor,
-                    max_cycle_length=config.max_cycle_length,
-                    max_cycles=config.max_cycles_per_anchor,
-                )
+            collection.anchor_cycles[anchor] = engine.cycle_groups(
+                anchor,
+                max_cycle_length=config.max_cycle_length,
+                max_cycles=config.max_cycles_per_anchor,
             )
-        return candidates
+        return collection
 
     def _collect_per_pair(
         self, graph: Graph, anchors: List[int], pairs: List[Tuple[int, int]]
-    ) -> List[Group]:
+    ) -> SampleCollection:
         """The seed per-pair searches (parity oracle / benchmark baseline)."""
         config = self.config
-        candidates: List[Group] = []
+        collection = SampleCollection()
         for u, v in pairs:
             path_group = path_search(graph, u, v, max_length=config.max_path_length)
-            if path_group is not None:
-                candidates.append(path_group)
             tree_group = tree_search(graph, u, v, depth=config.tree_depth, max_nodes=config.max_group_size)
-            if tree_group is not None:
-                candidates.append(tree_group)
+            collection.pair_groups[(u, v)] = (path_group, tree_group)
         for anchor in anchors:
-            candidates.extend(
-                cycle_search(
-                    graph,
-                    anchor,
-                    max_cycle_length=config.max_cycle_length,
-                    max_cycles=config.max_cycles_per_anchor,
-                )
+            collection.anchor_cycles[anchor] = cycle_search(
+                graph,
+                anchor,
+                max_cycle_length=config.max_cycle_length,
+                max_cycles=config.max_cycles_per_anchor,
             )
-        return candidates
+        return collection
 
     # ------------------------------------------------------------------
     def sample_with_scores(

@@ -1,0 +1,42 @@
+"""Streaming detection subsystem: online TP-GrGAD over graph deltas.
+
+Layers (bottom up):
+
+* :mod:`repro.stream.delta` — :class:`GraphDelta` batches and the
+  :class:`StreamingGraph` that applies them with sorted-merge edge-index
+  updates, incremental CSR refresh and a rolling content fingerprint.
+* :mod:`repro.stream.incremental` — :class:`IncrementalTPGrGAD`, the
+  dirty-region re-scoring detector with drift-budget refits.
+* :mod:`repro.stream.replay` — the micro-batching replay driver,
+  latency/throughput counters and the ``python -m repro.stream`` CLI.
+
+Event-stream views of the generated datasets live in
+:mod:`repro.datasets.stream`.
+"""
+
+from repro.stream.delta import DeltaReport, GraphDelta, StreamingGraph, content_fingerprint
+from repro.stream.incremental import IncrementalTPGrGAD, StreamConfig, TickReport
+from repro.stream.replay import (
+    MicroBatchQueue,
+    ReplayDriver,
+    ReplaySummary,
+    group_detected,
+    replay_event_stream,
+    write_summary_json,
+)
+
+__all__ = [
+    "DeltaReport",
+    "GraphDelta",
+    "StreamingGraph",
+    "content_fingerprint",
+    "IncrementalTPGrGAD",
+    "StreamConfig",
+    "TickReport",
+    "MicroBatchQueue",
+    "ReplayDriver",
+    "ReplaySummary",
+    "group_detected",
+    "replay_event_stream",
+    "write_summary_json",
+]

@@ -1,0 +1,516 @@
+"""Incremental TP-GrGAD: dirty-region re-scoring over a graph stream.
+
+:class:`IncrementalTPGrGAD` wraps the batched pipeline of
+:class:`repro.core.TPGrGAD` and keeps its three stage outputs alive
+between deltas:
+
+* **Stage 1 (anchors)** is the expensive trained part (MH-GAE).  It is
+  refit only when the *drift budget* is exceeded — the fraction of the
+  graph dirtied since the last refit — or on every tick under
+  ``refit_policy="always"`` (the exact-parity oracle mode).  Between
+  refits the anchor set is frozen; optionally, freshly arrived nodes are
+  promoted to *provisional* anchors so a burst planted mid-stream can be
+  sampled before the next refit.
+* **Stage 2 (candidate sampling)** is maintained exactly.  All of
+  Algorithm 1's searches from an anchor ``a`` explore at most
+  ``SamplerConfig.search_depth`` hops, so after a delta only anchors
+  inside the **dirty ball** — the ``search_depth``-hop ball around the
+  touched nodes (:meth:`Graph.k_hop_ball`, the union of the
+  :meth:`Graph.multi_source_bfs` balls) — can see any changed edge.
+  Their cached per-pair / per-cycle results are recomputed from one
+  batched BFS over just those sources; everything else is reused
+  verbatim.  Because deltas are add-only, a clean anchor's cached result
+  equals a fresh recomputation bit for bit (proved in DESIGN.md,
+  tested in ``tests/test_stream.py``).
+* **Stage 3 (discrimination)** re-embeds only candidate groups whose
+  member nodes were touched (a group's TPGCL embedding depends only on
+  its induced subgraph), with the encoder trained at the last refit, and
+  re-runs the cheap outlier detector over all group embeddings.
+
+``finalize()`` forces a refit when anything changed since the last one,
+so the stream's final answer is *identical* to running the batch
+``fit_detect`` on the final snapshot — the parity contract pinned by
+``benchmarks/test_stream_replay.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import TPGrGADConfig
+from repro.core.pipeline import TPGrGAD
+from repro.core.result import GroupDetectionResult
+from repro.gcl import TPGCL
+from repro.graph import Graph, Group
+from repro.sampling import CandidateGroupSampler, MultiSourceSearchEngine, SampleCollection
+from repro.stream.delta import DeltaReport, GraphDelta, StreamingGraph
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of the incremental detector.
+
+    Attributes
+    ----------
+    refit_policy:
+        ``"budget"`` (default) refits the trained stages when the dirty
+        fraction exceeds ``drift_budget``; ``"always"`` refits on every
+        tick (exact batch parity, the oracle mode); ``"never"`` only
+        refits when :meth:`IncrementalTPGrGAD.finalize` is called.
+    drift_budget:
+        Fraction of nodes allowed to change (arrive, gain an edge, have
+        features rewritten) since the last refit before a full one is
+        forced.
+    dirty_depth:
+        Hop radius of the dirty ball; defaults to the sampler's
+        ``search_depth`` (the invalidation-exactness bound — do not lower
+        it unless you accept stale candidates).
+    promote_new_nodes:
+        Between refits, treat freshly arrived nodes as provisional
+        anchors (paired with their nearest scored anchors) so anomalies
+        planted mid-stream are sampled before the next refit.  A stream-
+        only augmentation: refits discard provisional anchors.
+    max_provisional_anchors:
+        Most-recent cap on the provisional anchor set.
+    provisional_pair_budget:
+        How many nearest scored anchors each provisional anchor is paired
+        with.
+    threshold:
+        Optional fixed score threshold τ; ``None`` re-derives the
+        ``1 - contamination`` quantile every tick, like the batch
+        pipeline.
+    """
+
+    refit_policy: str = "budget"
+    drift_budget: float = 0.25
+    dirty_depth: Optional[int] = None
+    promote_new_nodes: bool = True
+    max_provisional_anchors: int = 16
+    provisional_pair_budget: int = 8
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.refit_policy not in ("budget", "always", "never"):
+            raise ValueError("refit_policy must be 'budget', 'always' or 'never'")
+        if not 0.0 < self.drift_budget <= 1.0:
+            raise ValueError("drift_budget must be in (0, 1]")
+
+
+@dataclass
+class TickReport:
+    """Everything one :meth:`IncrementalTPGrGAD.update` did."""
+
+    version: int
+    mode: str                      # "refit" | "incremental"
+    seconds: float
+    n_touched: int
+    dirty_ball: int                # nodes in this tick's dirty ball
+    dirty_fraction: float          # accumulated dirty fraction since last refit
+    n_dirty_anchors: int
+    pairs_reused: int
+    pairs_recomputed: int
+    cycles_reused: int
+    cycles_recomputed: int
+    embeddings_reused: int
+    embeddings_recomputed: int
+    result: GroupDetectionResult
+
+
+class IncrementalTPGrGAD:
+    """Online TP-GrGAD over a delta stream (see module docstring)."""
+
+    def __init__(
+        self,
+        base_graph: Graph,
+        config: Optional[TPGrGADConfig] = None,
+        stream_config: Optional[StreamConfig] = None,
+    ) -> None:
+        self.detector = TPGrGAD(config)
+        self.config = self.detector.config
+        self.stream_config = stream_config or StreamConfig()
+        self.streaming = StreamingGraph(base_graph)
+
+        # Lifetime counters (reported by the replay driver).
+        self.n_refits = 0
+        self.n_incremental_ticks = 0
+        self.pair_hits = 0
+        self.pair_misses = 0
+        self.embed_hits = 0
+        self.embed_misses = 0
+
+        # Per-refit-generation state.
+        self._anchors: List[int] = []
+        self._pairs: List[Tuple[int, int]] = []
+        self._collection = SampleCollection()
+        self._provisional: List[int] = []
+        self._provisional_pairs: Dict[int, List[Tuple[int, int]]] = {}
+        self._embed_rows: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._tpgcl: Optional[TPGCL] = None
+        self._node_scores: Optional[np.ndarray] = None
+        self._dirty_mask = np.zeros(base_graph.n_nodes, dtype=bool)
+        self._dirty_since_refit = False
+        self._result: Optional[GroupDetectionResult] = None
+
+        self._refit(self.graph)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The current snapshot."""
+        return self.streaming.graph
+
+    @property
+    def result(self) -> GroupDetectionResult:
+        """The most recent detection result (refit or incremental)."""
+        assert self._result is not None
+        return self._result
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Accumulated dirty fraction of the graph since the last refit."""
+        return float(self._dirty_mask.sum()) / float(self.graph.n_nodes)
+
+    def _search_depth(self) -> Optional[int]:
+        if self.stream_config.dirty_depth is not None:
+            return self.stream_config.dirty_depth
+        return self.config.sampler.search_depth
+
+    # ------------------------------------------------------------------
+    # Full refit (the batch pipeline, stage structure retained)
+    # ------------------------------------------------------------------
+    def _refit(self, graph: Graph) -> TickReport:
+        """Run the full three-stage pipeline and rebuild all cached state.
+
+        Mirrors :meth:`TPGrGAD.fit_detect` call for call (same fresh
+        seeded models, same rng streams), so the produced result is
+        bit-identical to the batch pipeline on this snapshot — pinned by
+        ``tests/test_stream.py::test_always_policy_matches_batch``.
+        """
+        start = time.perf_counter()
+        detector = self.detector
+        config = self.config
+        detector._graph = graph
+
+        anchor_array = detector.locate_anchors(graph)
+        node_scores = detector.mhgae.score_nodes() if detector.mhgae else None
+        anchors = [int(a) for a in anchor_array]
+
+        sampler = CandidateGroupSampler(config.sampler)
+        pairs = sampler.propose_pairs(anchors)
+        collection = sampler.collect(graph, anchors, pairs)
+        candidates = sampler.finalize(collection.ordered_candidates(pairs, anchors))
+
+        detector.tpgcl = None  # mirror _run_stages: only set when TPGCL runs
+        embeddings: Optional[np.ndarray] = None
+        if candidates:
+            embeddings = detector._embed_candidates(graph, candidates)
+
+        result = self._scored_result(
+            graph, candidates, embeddings, np.asarray(anchors, dtype=int), node_scores
+        )
+
+        self._anchors = anchors
+        self._pairs = pairs
+        self._collection = collection
+        self._provisional = []
+        self._provisional_pairs = {}
+        self._tpgcl = detector.tpgcl
+        self._node_scores = node_scores
+        self._embed_rows = (
+            {group.node_tuple(): embeddings[i] for i, group in enumerate(candidates)}
+            if embeddings is not None
+            else {}
+        )
+        self._dirty_mask = np.zeros(graph.n_nodes, dtype=bool)
+        self._dirty_since_refit = False
+        self._result = result
+        self.n_refits += 1
+
+        return TickReport(
+            version=self.streaming.version,
+            mode="refit",
+            seconds=time.perf_counter() - start,
+            n_touched=0,
+            dirty_ball=0,
+            dirty_fraction=0.0,
+            n_dirty_anchors=len(anchors),
+            pairs_reused=0,
+            pairs_recomputed=len(pairs),
+            cycles_reused=0,
+            cycles_recomputed=len(anchors),
+            embeddings_reused=0,
+            embeddings_recomputed=len(candidates),
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared stage-3 tail
+    # ------------------------------------------------------------------
+    def _scored_result(
+        self,
+        graph: Graph,
+        candidates: List[Group],
+        embeddings: Optional[np.ndarray],
+        anchor_nodes: np.ndarray,
+        node_scores: Optional[np.ndarray],
+    ) -> GroupDetectionResult:
+        """Outlier-score an embedding matrix into a result (τ as in batch)."""
+        padded_scores = self._padded_node_scores(node_scores, graph.n_nodes)
+        if not candidates or embeddings is None:
+            return GroupDetectionResult(
+                candidate_groups=[],
+                scores=np.array([]),
+                threshold=0.0,
+                anomalous_groups=[],
+                anchor_nodes=np.asarray(anchor_nodes, dtype=int).copy(),
+                node_scores=padded_scores,
+            )
+        scores = self.detector._score_embeddings(embeddings)
+        threshold = self.stream_config.threshold
+        if threshold is None:
+            threshold = float(np.quantile(scores, 1.0 - self.config.contamination))
+        anomalous = [
+            group.with_score(float(score))
+            for group, score in zip(candidates, scores)
+            if score >= threshold
+        ]
+        return GroupDetectionResult(
+            candidate_groups=list(candidates),
+            scores=scores,
+            threshold=float(threshold),
+            anomalous_groups=anomalous,
+            anchor_nodes=np.asarray(anchor_nodes, dtype=int).copy(),
+            embeddings=embeddings.copy(),
+            node_scores=padded_scores,
+        )
+
+    @staticmethod
+    def _padded_node_scores(node_scores: Optional[np.ndarray], n_nodes: int) -> Optional[np.ndarray]:
+        """Stage-1 scores padded with NaN for nodes arrived since the refit."""
+        if node_scores is None:
+            return None
+        if node_scores.shape[0] == n_nodes:
+            return node_scores.copy()
+        padded = np.full(n_nodes, np.nan)
+        padded[: node_scores.shape[0]] = node_scores
+        return padded
+
+    # ------------------------------------------------------------------
+    # The streaming entry point
+    # ------------------------------------------------------------------
+    def update(self, delta: GraphDelta) -> TickReport:
+        """Apply one delta and bring the detection result up to date."""
+        start = time.perf_counter()
+        report = self.streaming.apply(delta)
+        graph = self.graph
+        if report.touched_nodes.size:
+            # (Duplicate-only / empty deltas change nothing; don't let them
+            # force a flush refit from finalize().)
+            self._dirty_since_refit = True
+
+        # Drift accounting counts nodes that actually *changed* (arrived,
+        # gained an edge, had features rewritten) — not the much larger
+        # invalidation ball, which on small-world graphs quickly covers
+        # everything without the trained models having drifted much.
+        grown = np.zeros(graph.n_nodes, dtype=bool)
+        grown[: self._dirty_mask.shape[0]] = self._dirty_mask
+        grown[report.touched_nodes] = True
+        self._dirty_mask = grown
+        dirty_fraction = self.dirty_fraction
+
+        policy = self.stream_config.refit_policy
+        if policy == "always" or (policy == "budget" and dirty_fraction > self.stream_config.drift_budget):
+            tick = self._refit(graph)
+            return replace(
+                tick,
+                seconds=time.perf_counter() - start,
+                n_touched=int(report.touched_nodes.shape[0]),
+                dirty_fraction=dirty_fraction,
+            )
+
+        # The dirty ball is only needed (and only paid for) on the
+        # incremental path; topology changes invalidate searches, feature-
+        # only changes don't (paths/trees/cycles are purely structural).
+        ball = graph.k_hop_ball(report.touched_topology, self._search_depth())
+        return self._incremental_tick(graph, report, ball, dirty_fraction, start)
+
+    # ------------------------------------------------------------------
+    def _incremental_tick(
+        self,
+        graph: Graph,
+        report: DeltaReport,
+        ball: np.ndarray,
+        dirty_fraction: float,
+        start: float,
+    ) -> TickReport:
+        config = self.config
+        sampler_config = config.sampler
+        ball_set: Set[int] = set(int(n) for n in ball)
+        touched_set: Set[int] = set(int(n) for n in report.touched_nodes)
+
+        # ---- which sources must be re-searched -------------------------
+        new_provisional: List[int] = []
+        if self.stream_config.promote_new_nodes and report.n_new_nodes:
+            new_provisional = list(range(graph.n_nodes - report.n_new_nodes, graph.n_nodes))
+            self._provisional.extend(new_provisional)
+            dropped = self._provisional[: -self.stream_config.max_provisional_anchors]
+            self._provisional = self._provisional[-self.stream_config.max_provisional_anchors:]
+            for node in dropped:
+                for pair in self._provisional_pairs.pop(node, []):
+                    self._collection.pair_groups.pop(pair, None)
+                self._collection.anchor_cycles.pop(node, None)
+            new_provisional = [p for p in new_provisional if p in set(self._provisional)]
+
+        new_set = set(new_provisional)
+        dirty_anchors = [a for a in self._anchors if a in ball_set]
+        dirty_provisional = [p for p in self._provisional if p in ball_set and p not in new_set]
+        sources = list(dict.fromkeys(dirty_anchors + dirty_provisional + new_provisional))
+        engine: Optional[MultiSourceSearchEngine] = None
+        if sources:
+            engine = MultiSourceSearchEngine(graph, sources, max_depth=self._search_depth())
+
+        # ---- stage 2: patch the collection -----------------------------
+        pairs_recomputed = 0
+        dirty_set = set(dirty_anchors) | set(dirty_provisional)
+        for pair in self._pairs:
+            if pair[0] in dirty_set:
+                self._collection.pair_groups[pair] = self._search_pair(engine, pair)
+                pairs_recomputed += 1
+        for provisional in self._provisional:
+            if provisional in new_provisional:
+                self._provisional_pairs[provisional] = self._nearest_anchor_pairs(engine, provisional)
+            if provisional in dirty_set or provisional in new_provisional:
+                for pair in self._provisional_pairs.get(provisional, []):
+                    self._collection.pair_groups[pair] = self._search_pair(engine, pair)
+                    pairs_recomputed += 1
+
+        cycles_recomputed = 0
+        for source in sources:
+            self._collection.anchor_cycles[source] = engine.cycle_groups(
+                source,
+                max_cycle_length=sampler_config.max_cycle_length,
+                max_cycles=sampler_config.max_cycles_per_anchor,
+            )
+            cycles_recomputed += 1
+
+        all_pairs = list(self._pairs)
+        for provisional in self._provisional:
+            all_pairs.extend(self._provisional_pairs.get(provisional, []))
+        all_anchors = self._anchors + self._provisional
+        pairs_reused = len(all_pairs) - pairs_recomputed
+        cycles_reused = len(all_anchors) - cycles_recomputed
+        self.pair_hits += pairs_reused
+        self.pair_misses += pairs_recomputed
+
+        sampler = CandidateGroupSampler(sampler_config)
+        # Deterministic per-tick stream for the (rarely hit) candidate cap.
+        cap_rng = np.random.default_rng((sampler_config.seed, self.streaming.version))
+        candidates = sampler.finalize(
+            self._collection.ordered_candidates(all_pairs, all_anchors), rng=cap_rng
+        )
+
+        # ---- stage 3: re-embed touched groups, re-score everything ------
+        # Drop every cached row whose group intersects the touched nodes —
+        # including rows of groups *not* in the current candidate list, so a
+        # group that leaves and later re-enters can never resurrect a row
+        # computed against a pre-touch subgraph.
+        if touched_set:
+            for key in [k for k in self._embed_rows if touched_set.intersection(k)]:
+                del self._embed_rows[key]
+        embeddings: Optional[np.ndarray] = None
+        embeddings_recomputed = 0
+        if candidates:
+            stale = [
+                group for group in candidates if group.node_tuple() not in self._embed_rows
+            ]
+            embeddings_recomputed = len(stale)
+            if stale:
+                mean_rows = np.vstack(
+                    [graph.features[list(group.nodes)].mean(axis=0) for group in stale]
+                )
+                if self._tpgcl is not None:
+                    contrastive = self._tpgcl.embed_groups(graph, stale)
+                    rows = np.hstack([contrastive, mean_rows])
+                else:
+                    rows = mean_rows
+                for group, row in zip(stale, rows):
+                    self._embed_rows[group.node_tuple()] = row
+            embeddings = np.vstack([self._embed_rows[g.node_tuple()] for g in candidates])
+        embeddings_reused = len(candidates) - embeddings_recomputed
+        self.embed_hits += embeddings_reused
+        self.embed_misses += embeddings_recomputed
+
+        result = self._scored_result(
+            graph,
+            candidates,
+            embeddings,
+            np.asarray(all_anchors, dtype=int),
+            self._node_scores,
+        )
+        self._result = result
+        self.n_incremental_ticks += 1
+
+        return TickReport(
+            version=self.streaming.version,
+            mode="incremental",
+            seconds=time.perf_counter() - start,
+            n_touched=int(report.touched_nodes.shape[0]),
+            dirty_ball=int(ball.shape[0]),
+            dirty_fraction=dirty_fraction,
+            n_dirty_anchors=len(dirty_anchors),
+            pairs_reused=pairs_reused,
+            pairs_recomputed=pairs_recomputed,
+            cycles_reused=cycles_reused,
+            cycles_recomputed=cycles_recomputed,
+            embeddings_reused=embeddings_reused,
+            embeddings_recomputed=embeddings_recomputed,
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    def _search_pair(
+        self, engine: Optional[MultiSourceSearchEngine], pair: Tuple[int, int]
+    ) -> Tuple[Optional[Group], Optional[Group]]:
+        assert engine is not None, "a dirty pair implies a dirty source"
+        config = self.config.sampler
+        u, v = pair
+        path_group = engine.path_group(u, v, max_length=config.max_path_length)
+        tree_group = engine.tree_group(u, v, depth=config.tree_depth, max_nodes=config.max_group_size)
+        return (path_group, tree_group)
+
+    def _nearest_anchor_pairs(
+        self, engine: Optional[MultiSourceSearchEngine], provisional: int
+    ) -> List[Tuple[int, int]]:
+        """Pair a provisional anchor with its nearest reachable scored anchors.
+
+        The provisional node is the *source* of each pair, so one BFS row
+        answers all of its searches — scored anchors never become engine
+        sources on account of a provisional pairing.
+        """
+        assert engine is not None
+        budget = self.stream_config.provisional_pair_budget
+        if budget <= 0 or not self._anchors:
+            return []
+        dist_row = engine.distances(provisional)
+        reachable = [(int(dist_row[a]), i, a) for i, a in enumerate(self._anchors) if dist_row[a] >= 0]
+        reachable.sort()
+        return [(provisional, a) for _, _, a in reachable[:budget]]
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> GroupDetectionResult:
+        """Flush the stream: refit if anything changed since the last refit.
+
+        After this call the result is exactly ``TPGrGAD(config).fit_detect``
+        on the final snapshot.
+        """
+        if self._dirty_since_refit:
+            self._refit(self.graph)
+        return self.result
+
+    def update_all(self, deltas: Sequence[GraphDelta]) -> List[TickReport]:
+        """Apply a sequence of deltas, one tick each."""
+        return [self.update(delta) for delta in deltas]

@@ -1,0 +1,292 @@
+"""Event-stream replay: micro-batching queue, driver and counters.
+
+:class:`ReplayDriver` feeds an event stream (any iterable of
+:class:`GraphDelta`) through an :class:`IncrementalTPGrGAD`.  Events pass
+through a :class:`MicroBatchQueue` — a bounded queue that coalesces
+consecutive deltas into one *tick* — so a bursty producer does not force
+one detector pass per edge.  Per tick the driver records latency, dirty
+statistics and reuse counters; :meth:`ReplayDriver.run` returns a
+:class:`ReplaySummary` with throughput (events/sec), p50/p95 tick
+latency, refit/incremental split and (when the stream declares a burst
+group) the detection lag in ticks.
+
+``python -m repro.stream`` is the CLI front end; the pinned performance
+numbers live in ``benchmarks/test_stream_replay.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import TPGrGADConfig
+from repro.core.result import GroupDetectionResult
+from repro.graph import Graph, Group
+from repro.stream.delta import GraphDelta
+from repro.stream.incremental import IncrementalTPGrGAD, StreamConfig, TickReport
+
+
+class MicroBatchQueue:
+    """Bounded queue that coalesces pushed deltas into tick-sized batches.
+
+    ``max_events_per_tick`` is the coalescing width: :meth:`pop_tick`
+    merges up to that many queued deltas into one :class:`GraphDelta`.
+    ``capacity`` bounds the number of *queued* events; a push beyond it
+    signals backpressure by returning False (the replay driver responds
+    by draining a tick first — a real ingestion loop would block).
+    """
+
+    def __init__(self, capacity: int = 1024, max_events_per_tick: int = 32) -> None:
+        if capacity < 1 or max_events_per_tick < 1:
+            raise ValueError("capacity and max_events_per_tick must be positive")
+        self.capacity = capacity
+        self.max_events_per_tick = max_events_per_tick
+        self._queue: List[GraphDelta] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def push(self, delta: GraphDelta) -> bool:
+        """Enqueue one event; False signals backpressure (queue full)."""
+        if self.full:
+            return False
+        self._queue.append(delta)
+        return True
+
+    def pop_tick(self) -> Optional[GraphDelta]:
+        """Merge and return the next tick's worth of events (None if idle)."""
+        if not self._queue:
+            return None
+        batch = self._queue[: self.max_events_per_tick]
+        del self._queue[: self.max_events_per_tick]
+        return GraphDelta.merge(batch)
+
+
+@dataclass
+class ReplaySummary:
+    """Counters and latencies of one replay run."""
+
+    name: str
+    n_events: int
+    n_ticks: int
+    total_seconds: float
+    tick_seconds: List[float]
+    n_refits: int
+    n_incremental: int
+    refit_seconds: float
+    incremental_seconds: float
+    pair_hits: int
+    pair_misses: int
+    embed_hits: int
+    embed_misses: int
+    detection_tick: Optional[int] = None
+    burst_tick: Optional[int] = None
+    final_result: Optional[GroupDetectionResult] = None
+    ticks: List[TickReport] = field(default_factory=list)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.n_events / self.total_seconds if self.total_seconds > 0 else float("inf")
+
+    @property
+    def p50_latency(self) -> float:
+        return float(np.percentile(self.tick_seconds, 50)) if self.tick_seconds else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        return float(np.percentile(self.tick_seconds, 95)) if self.tick_seconds else 0.0
+
+    @property
+    def detection_lag(self) -> Optional[int]:
+        """Ticks between the burst and its first detection (None: not seen)."""
+        if self.detection_tick is None or self.burst_tick is None:
+            return None
+        return self.detection_tick - self.burst_tick
+
+    def to_json_dict(self) -> Dict:
+        """JSON-serialisable summary (the ``BENCH_stream.json`` schema)."""
+        return {
+            "name": self.name,
+            "n_events": self.n_events,
+            "n_ticks": self.n_ticks,
+            "total_seconds": round(self.total_seconds, 4),
+            "events_per_second": round(self.events_per_second, 2),
+            "p50_tick_latency_seconds": round(self.p50_latency, 4),
+            "p95_tick_latency_seconds": round(self.p95_latency, 4),
+            "n_refits": self.n_refits,
+            "n_incremental_ticks": self.n_incremental,
+            "refit_seconds": round(self.refit_seconds, 4),
+            "incremental_seconds": round(self.incremental_seconds, 4),
+            "pair_cache_hits": self.pair_hits,
+            "pair_cache_misses": self.pair_misses,
+            "embedding_cache_hits": self.embed_hits,
+            "embedding_cache_misses": self.embed_misses,
+            "burst_tick": self.burst_tick,
+            "detection_tick": self.detection_tick,
+            "detection_lag_ticks": self.detection_lag,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-screen summary."""
+        lines = [
+            f"replay '{self.name}': {self.n_events} events in {self.n_ticks} ticks "
+            f"({self.total_seconds:.2f}s, {self.events_per_second:.1f} events/s)",
+            f"  tick latency: p50 {self.p50_latency * 1e3:.1f}ms  p95 {self.p95_latency * 1e3:.1f}ms",
+            f"  ticks: {self.n_incremental} incremental ({self.incremental_seconds:.2f}s) "
+            f"+ {self.n_refits} refits ({self.refit_seconds:.2f}s)",
+            f"  pair cache: {self.pair_hits} hits / {self.pair_misses} misses; "
+            f"embedding cache: {self.embed_hits} hits / {self.embed_misses} misses",
+        ]
+        if self.burst_tick is not None:
+            if self.detection_tick is not None:
+                lines.append(
+                    f"  burst at tick {self.burst_tick}: detected at tick "
+                    f"{self.detection_tick} (lag {self.detection_lag})"
+                )
+            else:
+                lines.append(f"  burst at tick {self.burst_tick}: NOT detected")
+        return "\n".join(lines)
+
+
+def group_detected(result: GroupDetectionResult, target: Group, min_jaccard: float = 0.3) -> bool:
+    """Whether any flagged group overlaps ``target`` by at least ``min_jaccard``."""
+    return any(target.jaccard(group) >= min_jaccard for group in result.anomalous_groups)
+
+
+class ReplayDriver:
+    """Drive an incremental detector over an event stream."""
+
+    def __init__(
+        self,
+        base_graph: Graph,
+        config: Optional[TPGrGADConfig] = None,
+        stream_config: Optional[StreamConfig] = None,
+        queue: Optional[MicroBatchQueue] = None,
+    ) -> None:
+        self.detector = IncrementalTPGrGAD(base_graph, config, stream_config)
+        # Not ``queue or ...``: an empty MicroBatchQueue is falsy (__len__).
+        self.queue = queue if queue is not None else MicroBatchQueue()
+
+    def run(
+        self,
+        events: Iterable[GraphDelta],
+        watch_group: Optional[Group] = None,
+        burst_tick: Optional[int] = None,
+        min_jaccard: float = 0.3,
+        finalize: bool = True,
+        name: str = "stream",
+    ) -> ReplaySummary:
+        """Replay ``events`` through the detector and summarise the run.
+
+        ``watch_group`` (stream node ids) turns on detection-lag tracking:
+        the summary records the first tick whose flagged groups overlap it
+        by ``min_jaccard``.  ``finalize=True`` flushes the stream with a
+        final refit so the last result exactly matches the batch pipeline
+        on the final snapshot.
+        """
+        detector = self.detector
+        ticks: List[TickReport] = []
+        n_events = 0
+        detection_tick: Optional[int] = None
+        start = time.perf_counter()
+
+        def drain() -> None:
+            nonlocal detection_tick
+            tick = self.queue.pop_tick()
+            if tick is None:
+                return
+            # Empty ticks are still driven through the detector so tick
+            # indices stay aligned with the event stream's own tick grid
+            # (detection lag is reported in those units).
+            report = detector.update(tick)
+            ticks.append(report)
+            if (
+                watch_group is not None
+                and detection_tick is None
+                and group_detected(report.result, watch_group, min_jaccard)
+            ):
+                detection_tick = len(ticks) - 1
+
+        for event in events:
+            n_events += 1
+            while not self.queue.push(event):
+                drain()
+            while len(self.queue) >= self.queue.max_events_per_tick:
+                drain()
+        while len(self.queue):
+            drain()
+
+        refit_seconds = sum(t.seconds for t in ticks if t.mode == "refit")
+        incremental_seconds = sum(t.seconds for t in ticks if t.mode == "incremental")
+        final_result = detector.finalize() if finalize else detector.result
+        if (
+            watch_group is not None
+            and detection_tick is None
+            and finalize
+            and group_detected(final_result, watch_group, min_jaccard)
+        ):
+            detection_tick = len(ticks)  # only the flush refit saw it
+        total = time.perf_counter() - start
+
+        return ReplaySummary(
+            name=name,
+            n_events=n_events,
+            n_ticks=len(ticks),
+            total_seconds=total,
+            tick_seconds=[t.seconds for t in ticks],
+            n_refits=sum(1 for t in ticks if t.mode == "refit"),
+            n_incremental=sum(1 for t in ticks if t.mode == "incremental"),
+            refit_seconds=refit_seconds,
+            incremental_seconds=incremental_seconds,
+            pair_hits=detector.pair_hits,
+            pair_misses=detector.pair_misses,
+            embed_hits=detector.embed_hits,
+            embed_misses=detector.embed_misses,
+            detection_tick=detection_tick,
+            burst_tick=burst_tick,
+            final_result=final_result,
+            ticks=ticks,
+        )
+
+
+def replay_event_stream(
+    stream,
+    config: Optional[TPGrGADConfig] = None,
+    stream_config: Optional[StreamConfig] = None,
+    queue: Optional[MicroBatchQueue] = None,
+    finalize: bool = True,
+) -> ReplaySummary:
+    """Convenience wrapper: replay a :class:`repro.datasets.stream.EventStream`.
+
+    One queued event per stream tick delta; the default queue keeps that
+    1:1 mapping (``max_events_per_tick=1``) so detection lag is reported
+    in stream-tick units.
+    """
+    if queue is None:
+        queue = MicroBatchQueue(max_events_per_tick=1)
+    driver = ReplayDriver(stream.base, config, stream_config, queue)
+    return driver.run(
+        stream.deltas,
+        watch_group=stream.burst_group,
+        burst_tick=stream.burst_tick,
+        finalize=finalize,
+        name=stream.name,
+    )
+
+
+def write_summary_json(path: str, summaries: Sequence[ReplaySummary], extra: Optional[Dict] = None) -> None:
+    """Write replay summaries (plus optional extra metrics) as JSON."""
+    payload: Dict = {"replays": [s.to_json_dict() for s in summaries]}
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,426 @@
+"""Streaming subsystem tests: deltas, incremental parity, replay harness.
+
+The two contracts the ISSUE pins down:
+
+* **StreamingGraph equivalence** — any delta sequence replayed through
+  :class:`StreamingGraph` yields a graph equal (edge index, features,
+  adjacency, fingerprint) to building the final graph in one shot.
+* **Incremental parity** — ``refit_policy="always"`` reproduces the batch
+  ``fit_detect`` on every tick's snapshot exactly, ``finalize()`` does so
+  for any policy, and the dirty-region invalidation of stage 2 is *exact*
+  (cached search results of clean anchors equal a fresh recomputation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets import make_simml
+from repro.datasets.stream import make_burst_stream, make_event_stream
+from repro.graph import Graph
+from repro.sampling import CandidateGroupSampler, SamplerConfig
+from repro.stream import (
+    GraphDelta,
+    IncrementalTPGrGAD,
+    MicroBatchQueue,
+    ReplayDriver,
+    StreamConfig,
+    StreamingGraph,
+    content_fingerprint,
+    replay_event_stream,
+)
+
+
+# ----------------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------------
+N_FEATURES = 3
+
+
+@st.composite
+def delta_sequences(draw):
+    """A small base graph plus a random sequence of deltas on top of it."""
+    n_base = draw(st.integers(min_value=2, max_value=8))
+    possible = [(i, j) for i in range(n_base) for j in range(i + 1, n_base)]
+    base_edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)) if possible else []
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+
+    deltas = []
+    n = n_base
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        k = draw(st.integers(min_value=0, max_value=3))
+        total = n + k
+        m = draw(st.integers(min_value=0, max_value=6))
+        edges = rng.integers(0, total, size=(m, 2)) if m else None
+        updates = None
+        if draw(st.booleans()):
+            count = int(rng.integers(1, min(3, total) + 1))
+            ids = rng.choice(total, size=count, replace=False)
+            updates = (ids, rng.normal(size=(count, N_FEATURES)))
+        deltas.append(
+            GraphDelta.make(
+                edges=edges,
+                node_features=rng.normal(size=(k, N_FEATURES)) if k else None,
+                feature_updates=updates,
+            )
+        )
+        n = total
+    base = Graph(n_base, base_edges, rng.normal(size=(n_base, N_FEATURES)), name="prop")
+    return base, deltas
+
+
+def one_shot(base: Graph, deltas) -> Graph:
+    """Reference construction: concatenate all batches, build once."""
+    features = base.features.copy()
+    node_batches = [d.new_node_features for d in deltas if d.n_new_nodes]
+    if node_batches:
+        features = np.vstack([features] + node_batches)
+    for delta in deltas:
+        if delta.n_feature_updates:
+            features[delta.feature_update_nodes] = delta.feature_update_values
+    edges = np.vstack([base.edge_index.T] + [d.new_edges for d in deltas])
+    return Graph(features.shape[0], edges, features, name=base.name)
+
+
+# ----------------------------------------------------------------------------
+# StreamingGraph equivalence
+# ----------------------------------------------------------------------------
+class TestStreamingGraph:
+    @given(delta_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_replay_equals_one_shot(self, case):
+        base, deltas = case
+        base.adjacency(sparse=True)  # materialise so the CSR merge path runs
+        streaming = StreamingGraph(base)
+        streaming.apply_all(deltas)
+        expected = one_shot(base, deltas)
+
+        graph = streaming.graph
+        assert np.array_equal(graph.edge_index, expected.edge_index)
+        assert np.array_equal(graph.features, expected.features)
+        assert graph.fingerprint() == expected.fingerprint()
+        assert (graph.adjacency(sparse=True) != expected.adjacency(sparse=True)).nnz == 0
+        assert streaming.fingerprint() == content_fingerprint(expected)
+        graph.validate()
+
+    @given(delta_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_merged_delta_equals_sequence(self, case):
+        base, deltas = case
+        one = StreamingGraph(base)
+        one.apply_all(deltas)
+        merged = StreamingGraph(base)
+        merged.apply(GraphDelta.merge(deltas))
+        assert one.graph.fingerprint() == merged.graph.fingerprint()
+        assert one.fingerprint() == merged.fingerprint()
+
+    def test_lazy_adjacency_stays_lazy(self):
+        base = Graph(4, [(0, 1)], np.zeros((4, 2)))
+        streaming = StreamingGraph(base)
+        streaming.apply(GraphDelta.make(edges=[(1, 2)]))
+        assert streaming.graph._adjacency_cache is None
+        # ...and once materialised, later merges carry the cache forward.
+        streaming.graph.adjacency(sparse=True)
+        streaming.apply(GraphDelta.make(edges=[(2, 3)]))
+        assert streaming.graph._adjacency_cache is not None
+
+    def test_duplicate_and_self_loop_edges_are_dropped(self):
+        base = Graph(3, [(0, 1)], np.zeros((3, 2)))
+        streaming = StreamingGraph(base)
+        report = streaming.apply(GraphDelta.make(edges=[(0, 1), (1, 1), (1, 0), (1, 2)]))
+        assert report.n_new_edges == 1
+        assert streaming.graph.n_edges == 2
+        # Only the endpoints of the actually-inserted edge count as touched.
+        assert report.touched_nodes.tolist() == [1, 2]
+        assert report.touched_topology.tolist() == [1, 2]
+        # A pure re-delivery dirties nothing at all.
+        redelivery = streaming.apply(GraphDelta.make(edges=[(0, 1), (1, 2)]))
+        assert redelivery.touched_nodes.size == 0
+
+    def test_redelivered_events_do_not_drift_the_detector(self, stream_graph):
+        incremental = IncrementalTPGrGAD(
+            stream_graph, TPGrGADConfig.fast(seed=3), StreamConfig(refit_policy="budget")
+        )
+        duplicate = GraphDelta.make(edges=stream_graph.edge_index.T[:50])
+        tick = incremental.update(duplicate)
+        assert tick.n_touched == 0
+        assert incremental.dirty_fraction == 0.0
+        refits = incremental.n_refits
+        incremental.finalize()  # nothing changed -> no flush refit
+        assert incremental.n_refits == refits
+
+    def test_delta_does_not_freeze_caller_buffers(self):
+        buffer = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        GraphDelta.make(edges=buffer)
+        buffer[0, 0] = 7  # must not raise: the delta froze its own copy
+
+    def test_out_of_range_edges_rejected(self):
+        streaming = StreamingGraph(Graph(3, [(0, 1)], np.zeros((3, 2))))
+        with pytest.raises(ValueError, match="out of range"):
+            streaming.apply(GraphDelta.make(edges=[(0, 7)]))
+
+    def test_feature_dimension_mismatch_rejected(self):
+        streaming = StreamingGraph(Graph(3, [(0, 1)], np.zeros((3, 2))))
+        with pytest.raises(ValueError, match="feature"):
+            streaming.apply(GraphDelta.make(node_features=np.zeros((1, 5))))
+
+    def test_touched_nodes_cover_all_event_kinds(self):
+        delta = GraphDelta.make(
+            edges=[(0, 4)],
+            node_features=np.zeros((1, 2)),
+            feature_updates=([2], np.zeros((1, 2))),
+        )
+        assert delta.touched_nodes(4).tolist() == [0, 2, 4]
+
+
+class TestKHopBall:
+    @given(delta_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_ball_equals_union_of_bfs_balls(self, case):
+        base, deltas = case
+        streaming = StreamingGraph(base)
+        streaming.apply_all(deltas)
+        graph = streaming.graph
+        rng = np.random.default_rng(0)
+        sources = rng.choice(graph.n_nodes, size=min(3, graph.n_nodes), replace=False)
+        for depth in (0, 1, 2, None):
+            ball = graph.k_hop_ball(sources, depth)
+            if depth is None:
+                union = np.unique(
+                    np.concatenate([np.flatnonzero(row >= 0) for row in graph.multi_source_bfs(sources).dist])
+                )
+            else:
+                union = np.unique(np.concatenate(graph.k_hop_nodes(sources, depth)))
+            assert np.array_equal(ball, union)
+
+
+# ----------------------------------------------------------------------------
+# Micro-batch queue
+# ----------------------------------------------------------------------------
+class TestMicroBatchQueue:
+    def test_coalesces_up_to_tick_width(self):
+        queue = MicroBatchQueue(capacity=10, max_events_per_tick=3)
+        for i in range(5):
+            assert queue.push(GraphDelta.make(edges=[(i, i + 1)]))
+        first = queue.pop_tick()
+        assert first.n_new_edges == 3
+        assert queue.pop_tick().n_new_edges == 2
+        assert queue.pop_tick() is None
+
+    def test_backpressure_signalled_when_full(self):
+        queue = MicroBatchQueue(capacity=2, max_events_per_tick=2)
+        assert queue.push(GraphDelta.make(edges=[(0, 1)]))
+        assert queue.push(GraphDelta.make(edges=[(1, 2)]))
+        assert not queue.push(GraphDelta.make(edges=[(2, 3)]))
+        queue.pop_tick()
+        assert queue.push(GraphDelta.make(edges=[(2, 3)]))
+
+
+# ----------------------------------------------------------------------------
+# Incremental detector parity
+# ----------------------------------------------------------------------------
+def _growth_deltas(graph: Graph, steps: int, seed: int):
+    rng = np.random.default_rng(seed)
+    deltas, n = [], graph.n_nodes
+    for _ in range(steps):
+        k = int(rng.integers(1, 3))
+        total = n + k
+        m = int(rng.integers(2, 6))
+        edges = np.column_stack(
+            [rng.integers(0, total, size=m), rng.integers(0, total, size=m)]
+        )
+        deltas.append(
+            GraphDelta.make(edges=edges, node_features=rng.normal(size=(k, graph.n_features)))
+        )
+        n = total
+    return deltas
+
+
+@pytest.fixture(scope="module")
+def stream_graph() -> Graph:
+    return make_simml(scale=0.05, seed=1)
+
+
+class TestIncrementalParity:
+    def test_always_policy_matches_batch(self, stream_graph):
+        config = TPGrGADConfig.fast(seed=3)
+        incremental = IncrementalTPGrGAD(
+            stream_graph, config, StreamConfig(refit_policy="always")
+        )
+        batch = TPGrGAD(TPGrGADConfig.fast(seed=3)).fit_detect(incremental.graph)
+        assert np.array_equal(incremental.result.scores, batch.scores)
+
+        for delta in _growth_deltas(stream_graph, steps=3, seed=5):
+            tick = incremental.update(delta)
+            assert tick.mode == "refit"
+            expected = TPGrGAD(TPGrGADConfig.fast(seed=3)).fit_detect(incremental.graph)
+            assert [g.node_tuple() for g in tick.result.candidate_groups] == [
+                g.node_tuple() for g in expected.candidate_groups
+            ]
+            assert np.array_equal(tick.result.scores, expected.scores)
+            assert tick.result.threshold == expected.threshold
+            assert np.array_equal(tick.result.anchor_nodes, expected.anchor_nodes)
+
+    def test_finalize_matches_batch_for_any_policy(self, stream_graph):
+        for policy in ("budget", "never"):
+            config = TPGrGADConfig.fast(seed=3)
+            incremental = IncrementalTPGrGAD(
+                stream_graph, config, StreamConfig(refit_policy=policy, drift_budget=0.9)
+            )
+            incremental.update_all(_growth_deltas(stream_graph, steps=3, seed=7))
+            final = incremental.finalize()
+            expected = TPGrGAD(TPGrGADConfig.fast(seed=3)).fit_detect(incremental.graph)
+            assert np.array_equal(final.scores, expected.scores)
+            assert final.threshold == expected.threshold
+            # A second finalize with no new deltas is a no-op.
+            refits = incremental.n_refits
+            incremental.finalize()
+            assert incremental.n_refits == refits
+
+    def test_dirty_region_invalidation_is_exact(self, stream_graph):
+        """Clean anchors' cached searches equal a fresh full recomputation."""
+        # A short search depth keeps the dirty ball local, so some anchors
+        # stay clean and reuse actually happens (asserted below).
+        sampler = SamplerConfig(
+            max_path_length=3, tree_depth=2, max_cycle_length=4, max_anchor_pairs=600
+        )
+        config = TPGrGADConfig.fast(seed=3)
+        config.sampler = sampler
+        incremental = IncrementalTPGrGAD(
+            stream_graph,
+            config,
+            StreamConfig(refit_policy="never", promote_new_nodes=False),
+        )
+        reused_total = 0
+        for delta in _growth_deltas(stream_graph, steps=4, seed=9):
+            tick = incremental.update(delta)
+            assert tick.mode == "incremental"
+            reused_total += tick.pairs_reused
+            fresh = CandidateGroupSampler(sampler).collect(
+                incremental.graph, incremental._anchors, incremental._pairs
+            )
+            for pair in incremental._pairs:
+                cached = incremental._collection.pair_groups[pair]
+                recomputed = fresh.pair_groups[pair]
+                assert tuple(g.node_tuple() if g else None for g in cached) == tuple(
+                    g.node_tuple() if g else None for g in recomputed
+                )
+            for anchor in incremental._anchors:
+                assert [g.node_tuple() for g in incremental._collection.anchor_cycles[anchor]] == [
+                    g.node_tuple() for g in fresh.anchor_cycles[anchor]
+                ]
+        assert reused_total > 0, "dirty ball covered every anchor; test lost its teeth"
+
+    def test_feature_only_delta_rescores_touched_groups(self, stream_graph):
+        config = TPGrGADConfig.fast(seed=3)
+        incremental = IncrementalTPGrGAD(
+            stream_graph, config, StreamConfig(refit_policy="never")
+        )
+        target = next(iter(incremental.result.candidate_groups))
+        node = next(iter(target.nodes))
+        before = incremental.result.scores.copy()
+        tick = incremental.update(
+            GraphDelta.make(
+                feature_updates=([node], 5.0 + np.zeros((1, stream_graph.n_features)))
+            )
+        )
+        assert tick.mode == "incremental"
+        assert tick.pairs_recomputed == 0  # features never dirty searches
+        assert tick.embeddings_recomputed >= 1
+        assert not np.array_equal(tick.result.scores, before)
+
+    def test_structured_sampler_equals_one_shot_sample(self, stream_graph):
+        config = SamplerConfig(max_anchor_pairs=50, max_candidates=60, seed=11)
+        anchors = sorted(
+            np.random.default_rng(4).choice(stream_graph.n_nodes, size=12, replace=False).tolist()
+        )
+        one_shot_sampler = CandidateGroupSampler(config)
+        expected = one_shot_sampler.sample(stream_graph, anchors)
+        staged = CandidateGroupSampler(config)
+        pairs = staged.propose_pairs(anchors)
+        collection = staged.collect(stream_graph, anchors, pairs)
+        got = staged.finalize(collection.ordered_candidates(pairs, anchors))
+        assert [g.node_tuple() for g in got] == [g.node_tuple() for g in expected]
+
+
+# ----------------------------------------------------------------------------
+# Event streams + replay driver
+# ----------------------------------------------------------------------------
+class TestEventStreams:
+    def test_stream_final_equals_replayed_deltas(self):
+        stream = make_event_stream(dataset="simml", scale=0.05, seed=2, n_ticks=5)
+        streaming = StreamingGraph(stream.base)
+        streaming.apply_all(stream.deltas)
+        assert streaming.graph.fingerprint() == stream.final.fingerprint()
+        assert stream.final.n_groups == len(stream.groups)
+
+    def test_stream_groups_relabelled_consistently(self):
+        stream = make_event_stream(dataset="ethereum-tsgn", scale=0.05, seed=2, n_ticks=4)
+        for group in stream.groups:
+            for u, v in group.edges:
+                assert stream.final.has_edge(u, v)
+
+    def test_burst_stream_places_burst_group(self):
+        stream = make_burst_stream(dataset="simml", scale=0.05, seed=2, n_ticks=6, burst_tick=4)
+        assert stream.burst_tick == 4
+        assert stream.burst_group in stream.groups
+        # The burst group's nodes arrive exactly at the burst tick.
+        n_before = stream.base.n_nodes + sum(
+            d.n_new_nodes for d in stream.deltas[:4]
+        )
+        burst_delta = stream.deltas[4]
+        arrived = set(range(n_before, n_before + burst_delta.n_new_nodes))
+        assert set(stream.burst_group.nodes) <= arrived
+
+    def test_truncated_stream_is_consistent(self):
+        stream = make_burst_stream(dataset="simml", scale=0.05, seed=2, n_ticks=6, burst_tick=4)
+        short = stream.truncated(3)
+        assert short.n_ticks == 3
+        assert short.burst_group is None  # burst lies beyond the cut
+        streaming = StreamingGraph(short.base)
+        streaming.apply_all(short.deltas)
+        assert streaming.graph.fingerprint() == short.final.fingerprint()
+        assert all(tick < 3 for tick in short.group_arrival_tick.values())
+        assert len(short.groups) == len(short.group_arrival_tick)
+
+    def test_replay_driver_summary(self):
+        stream = make_burst_stream(dataset="simml", scale=0.05, seed=2, n_ticks=5)
+        summary = replay_event_stream(
+            stream,
+            TPGrGADConfig.fast(seed=1),
+            StreamConfig(refit_policy="budget", drift_budget=0.5),
+        )
+        assert summary.n_ticks == stream.n_ticks
+        assert summary.n_refits + summary.n_incremental == summary.n_ticks
+        assert summary.n_events == stream.n_ticks
+        assert summary.p95_latency >= summary.p50_latency >= 0.0
+        payload = summary.to_json_dict()
+        for key in (
+            "events_per_second",
+            "p50_tick_latency_seconds",
+            "p95_tick_latency_seconds",
+            "n_refits",
+            "n_incremental_ticks",
+            "pair_cache_hits",
+            "detection_lag_ticks",
+        ):
+            assert key in payload
+        # Final result parity after the flush refit.
+        batch = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(stream.final)
+        assert np.array_equal(summary.final_result.scores, batch.scores)
+
+    def test_driver_coalesces_with_wide_queue(self):
+        stream = make_event_stream(dataset="simml", scale=0.05, seed=3, n_ticks=6)
+        driver = ReplayDriver(
+            stream.base,
+            TPGrGADConfig.fast(seed=1),
+            StreamConfig(refit_policy="never"),
+            queue=MicroBatchQueue(capacity=100, max_events_per_tick=3),
+        )
+        summary = driver.run(stream.deltas, finalize=False, name="coalesced")
+        assert summary.n_events == 6
+        assert summary.n_ticks == 2  # 6 events / 3 per tick

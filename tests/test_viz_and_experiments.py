@@ -9,9 +9,11 @@ from repro.experiments import (
     EXPERIMENTS,
     ExperimentSettings,
     run_figure8,
+    run_stream,
     run_table1,
     run_table2,
     render_figure8,
+    render_stream,
     render_table1,
     render_table2,
 )
@@ -75,8 +77,20 @@ class TestExperimentHarness:
     def test_registry_contains_every_artifact(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5",
-            "figure5", "figure6", "figure7", "figure8",
+            "figure5", "figure6", "figure7", "figure8", "stream",
         }
+
+    def test_stream_replay_produces_one_record_per_dataset(self):
+        settings = ExperimentSettings(
+            datasets=["simml"], scale=0.05, seeds=(0,), mhgae_epochs=5, tpgcl_epochs=2
+        )
+        records = run_stream(settings)
+        assert len(records) == 1
+        record = records[0]
+        assert record["dataset"] == "simML"
+        assert record["speedup_vs_refit"] > 0
+        assert record["incremental_ticks"] + record["refits"] == 8
+        assert "Streaming replay" in render_stream(records)
 
     def test_table1_matches_dataset_statistics(self):
         records = run_table1(QUICK)
