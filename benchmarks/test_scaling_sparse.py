@@ -160,14 +160,18 @@ def test_fit_detect_wall_clock_on_5k_graph(benchmark):
 
     # Record the dense-vs-sparse propagation speedup of the stage-1 GAE so
     # later PRs can track the trajectory (2 epochs each, same seed).
-    timings = {}
-    for label, sparse in (("sparse", True), ("dense", False)):
-        gae = GraphAutoEncoder(
-            GAEConfig(epochs=2, hidden_dim=16, embedding_dim=8, sparse_propagation=sparse)
-        )
-        start = time.perf_counter()
-        gae.fit(graph)
-        timings[label] = time.perf_counter() - start
+    # Best-of-2, interleaved: a single sample per variant is at the mercy
+    # of scheduler/allocator noise from earlier benchmarks in the same
+    # process, which flakes the ratio floor on loaded single-core boxes.
+    timings = {"sparse": float("inf"), "dense": float("inf")}
+    for _ in range(2):
+        for label, sparse in (("sparse", True), ("dense", False)):
+            gae = GraphAutoEncoder(
+                GAEConfig(epochs=2, hidden_dim=16, embedding_dim=8, sparse_propagation=sparse)
+            )
+            start = time.perf_counter()
+            gae.fit(graph)
+            timings[label] = min(timings[label], time.perf_counter() - start)
     speedup = timings["dense"] / max(timings["sparse"], 1e-12)
     benchmark.extra_info["gae_fit_dense_seconds"] = round(timings["dense"], 3)
     benchmark.extra_info["gae_fit_sparse_seconds"] = round(timings["sparse"], 3)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 
 import numpy as np
+import pytest
 
 from repro.core import TPGrGAD, TPGrGADConfig
 from repro.datasets.stream import make_burst_stream
@@ -84,6 +85,33 @@ def test_stream_replay_parity_and_speedup(benchmark):
     benchmark.extra_info["incremental_vs_refit_speedup"] = round(speedup, 1)
     benchmark.extra_info["pair_cache_hits"] = incremental_summary.pair_hits
     benchmark.extra_info["detection_lag_ticks"] = incremental_summary.detection_lag
+
+    # --- claim 3: the summary schema splits refit vs incremental stats ---
+    payload = incremental_summary.to_json_dict()
+    for key in (
+        "events_per_second",
+        "incremental_events_per_second",
+        "processing_seconds",
+        "finalize_seconds",
+        "p50_incremental_tick_latency_seconds",
+        "p95_incremental_tick_latency_seconds",
+        "p50_refit_tick_latency_seconds",
+        "p95_refit_tick_latency_seconds",
+    ):
+        assert key in payload, f"BENCH_stream.json schema is missing '{key}'"
+    # Refit ticks must no longer pollute the incremental percentiles.
+    if incremental_summary.n_refits:
+        assert (
+            incremental_summary.p95_incremental_latency
+            < incremental_summary.p50_refit_latency
+        )
+    # Lock the throughput denominator to processing time (ticks + flush):
+    # a revert to the old ambient-wall-clock denominator (total_seconds,
+    # which also counts event production) breaks this equality.
+    assert incremental_summary.events_per_second == pytest.approx(
+        incremental_summary.n_events / incremental_summary.processing_seconds,
+        rel=1e-9,
+    )
 
     refit_summary.name = f"{stream.name}-refit-per-tick"
     write_summary_json(

@@ -37,6 +37,12 @@ _LAZY_ATTRS = {
     "StreamingGraph": ("repro.stream", "StreamingGraph"),
     "IncrementalTPGrGAD": ("repro.stream", "IncrementalTPGrGAD"),
     "StreamConfig": ("repro.stream", "StreamConfig"),
+    "ParallelExecutor": ("repro.parallel", "ParallelExecutor"),
+    "parallel_fit_detect_many": ("repro.parallel", "parallel_fit_detect_many"),
+    "PipelineState": ("repro.persist", "PipelineState"),
+    "save_pipeline": ("repro.persist", "save_pipeline"),
+    "load_pipeline": ("repro.persist", "load_pipeline"),
+    "to_native": ("repro.persist", "to_native"),
 }
 
 
@@ -60,5 +66,11 @@ __all__ = [
     "StreamingGraph",
     "IncrementalTPGrGAD",
     "StreamConfig",
+    "ParallelExecutor",
+    "parallel_fit_detect_many",
+    "PipelineState",
+    "save_pipeline",
+    "load_pipeline",
+    "to_native",
     "__version__",
 ]

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 from repro.gae import MHGAEConfig
 from repro.gcl import TPGCLConfig
 from repro.sampling import SamplerConfig
+from repro.seeding import derive_stage_seeds
 
 
 @dataclass
@@ -45,7 +47,11 @@ class TPGrGADConfig:
         their graph and fitted models in memory, so keep this small when
         scoring streams of large graphs; ``0`` disables caching entirely.
     seed:
-        Master random seed propagated to every stage.
+        Master random seed.  Stage configs whose ``seed`` was left unset
+        (``None``) receive *distinct* per-stage streams derived from this
+        master via :func:`repro.seeding.derive_stage_seeds`; a stage seed
+        set explicitly — including ``0`` — always wins and is never
+        rewritten.
     """
 
     mhgae: MHGAEConfig = field(default_factory=lambda: MHGAEConfig(epochs=60))
@@ -66,14 +72,37 @@ class TPGrGADConfig:
             raise ValueError("contamination must be in (0, 1)")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0 (0 disables caching)")
-        # Propagate the master seed to stages that kept their default seed.
-        if self.seed:
-            if self.mhgae.seed == 0:
-                self.mhgae.seed = self.seed
-            if self.sampler.seed == 0:
-                self.sampler.seed = self.seed
-            if self.tpgcl.seed == 0:
-                self.tpgcl.seed = self.seed
+        # Fill unset (None) stage seeds with distinct streams derived from
+        # the master seed.  ``None`` is the unset sentinel: an explicit
+        # stage seed — including 0 — always wins.  The names of the stages
+        # that were derived are recorded (as a plain attribute, not a
+        # dataclass field) so the parallel executor can re-derive exactly
+        # those stages when it assigns per-item child seeds.
+        derived = derive_stage_seeds(self.seed)
+        derived_stages = []
+        for stage in ("mhgae", "sampler", "tpgcl"):
+            if getattr(self, stage).seed is None:
+                getattr(self, stage).seed = derived[stage]
+                derived_stages.append(stage)
+        self.derived_stage_seeds: Tuple[str, ...] = tuple(derived_stages)
+
+    def reseed(self, seed: int) -> "TPGrGADConfig":
+        """A deep copy of this config re-derived from a new master ``seed``.
+
+        Only the stages whose seeds were *derived* (left unset when this
+        config was built) follow the new master; explicitly pinned stage
+        seeds are preserved.  This is the per-item derivation used by the
+        parallel executor: the result depends on ``seed`` alone, never on
+        how a batch was sharded.
+        """
+        import copy
+
+        clone = copy.deepcopy(self)
+        clone.seed = int(seed)
+        derived = derive_stage_seeds(clone.seed)
+        for stage in self.derived_stage_seeds:
+            getattr(clone, stage).seed = derived[stage]
+        return clone
 
     @classmethod
     def fast(cls, seed: int = 0) -> "TPGrGADConfig":

@@ -71,12 +71,31 @@ class TPGrGAD:
         self._stage_cache: "OrderedDict[Tuple[str, str], _StageOutputs]" = OrderedDict()
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        # Loaded artifact state (set by TPGrGAD.load); detect_only prefers
+        # it over the live fitted models.
+        self._warm_state = None
+        # Identity of the graph the live models were actually *trained* on
+        # (detect_only rebinds self._graph to whatever it serves, so the
+        # manifest fingerprint cannot come from there), and the TPGCL that
+        # training produced (detect_only may null self.tpgcl for a serve
+        # that skipped the head — that must never erase trained weights
+        # from what save() exports).
+        self._fitted_fingerprint: Optional[str] = None
+        self._fitted_n_features: Optional[int] = None
+        self._fitted_tpgcl: Optional[TPGCL] = None
 
     # ------------------------------------------------------------------
     # Stage 1: anchor localization
     # ------------------------------------------------------------------
     def locate_anchors(self, graph: Graph) -> np.ndarray:
         """Fit MH-GAE and return anchor node indices (sorted by error)."""
+        # Real training supersedes any loaded artifact state: save() must
+        # export the freshly fitted models from here on, not the stale
+        # weights the detector was loaded with.
+        self._warm_state = None
+        self._fitted_fingerprint = graph.fingerprint()
+        self._fitted_n_features = graph.n_features
+        self._fitted_tpgcl = None  # a new training generation begins
         self.mhgae = MultiHopGAE(self.config.mhgae)
         self.mhgae.fit(graph)
         return select_anchor_nodes(
@@ -96,13 +115,18 @@ class TPGrGAD:
     # ------------------------------------------------------------------
     # Stage 3: discrimination
     # ------------------------------------------------------------------
-    def _embed_candidates(self, graph: Graph, candidates: List[Group]) -> np.ndarray:
-        mean_features = np.vstack(
+    @staticmethod
+    def _mean_features(graph: Graph, candidates: List[Group]) -> np.ndarray:
+        return np.vstack(
             [graph.features[list(group.nodes)].mean(axis=0) for group in candidates]
         )
+
+    def _embed_candidates(self, graph: Graph, candidates: List[Group]) -> np.ndarray:
+        mean_features = self._mean_features(graph, candidates)
         if self.config.use_tpgcl and len(candidates) >= 2:
             self.tpgcl = TPGCL(self.config.tpgcl)
             self.tpgcl.fit(graph, candidates)
+            self._fitted_tpgcl = self.tpgcl
             contrastive = self.tpgcl.embed_groups(graph, candidates)
             # The representation handed to the outlier detector keeps the
             # group's aggregate attribute profile alongside the topology-
@@ -146,6 +170,12 @@ class TPGrGAD:
             # fit, and must see the models that scored *this* graph.
             self.mhgae = cached.mhgae
             self.tpgcl = cached.tpgcl
+            self._fitted_fingerprint = key[0]
+            self._fitted_n_features = graph.n_features
+            self._fitted_tpgcl = cached.tpgcl
+            # The rebound generation supersedes any cached/loaded export,
+            # exactly as training does on the miss path.
+            self._warm_state = None
             return cached
         self.cache_misses += 1
 
@@ -221,7 +251,10 @@ class TPGrGAD:
         return self._score_stages(self._run_stages(graph), threshold)
 
     def fit_detect_many(
-        self, graphs: Iterable[Graph], threshold: Optional[float] = None
+        self,
+        graphs: Iterable[Graph],
+        threshold: Optional[float] = None,
+        n_workers: Optional[int] = None,
     ) -> List[GroupDetectionResult]:
         """Score a list of graphs through one call (the batched API).
 
@@ -231,5 +264,128 @@ class TPGrGAD:
         gs]`` — but graphs repeated within or across calls hit the
         per-``(fingerprint, config)`` stage cache and skip the MH-GAE /
         sampling / TPGCL training entirely.
+
+        ``n_workers > 1`` shards the batch across a process pool via
+        :class:`repro.parallel.ParallelExecutor`; results are bit-identical
+        to the serial order, the executor's duplicate-graph hits are
+        merged back into this detector's ``cache_hits``/``cache_misses``
+        counters, and the post-fit contract survives: this detector ends
+        up holding (warm-bound copies of) the models that scored the
+        batch's last graph, so ``save()`` / ``mhgae.score_nodes()`` work
+        exactly as after a serial call.  Only the stage *cache* stays
+        local to the workers — the fitted model objects cannot cross the
+        process boundary.
         """
+        if n_workers is not None and n_workers > 1:
+            from repro.parallel import ParallelExecutor
+
+            graphs = list(graphs)
+            executor = ParallelExecutor(self.config, n_workers=n_workers)
+            results = executor.fit_detect_many(graphs, threshold=threshold)
+            self.cache_hits += executor.cache_hits
+            self.cache_misses += executor.cache_misses
+            if executor.final_state is not None and graphs:
+                state = executor.final_state
+                # The batch trained fresh models; they supersede any
+                # loaded artifact state exactly as serial training does.
+                self._warm_state = None
+                self._graph = graphs[-1]
+                self._fitted_fingerprint = state.graph_fingerprint
+                self._fitted_n_features = state.n_features
+                self.mhgae = state.bind_mhgae(graphs[-1])
+                self.tpgcl = state.bind_tpgcl()
+                self._fitted_tpgcl = self.tpgcl
+            return results
         return [self.fit_detect(graph, threshold=threshold) for graph in graphs]
+
+    # ------------------------------------------------------------------
+    # Warm inference + persistence
+    # ------------------------------------------------------------------
+    def detect_only(self, graph: Graph, threshold: Optional[float] = None) -> GroupDetectionResult:
+        """Score ``graph`` with the already-trained stage models (no training).
+
+        Uses the loaded artifact state when this detector came from
+        :meth:`load`, otherwise the live models of the last
+        :meth:`fit_detect`.  On the graph the pipeline was fitted on this
+        reproduces ``fit_detect`` exactly (same weights, same seeded
+        sampler); on *new* graphs of the same feature dimensionality it is
+        the warm-start serving path — anchors are scored by the trained
+        MH-GAE and candidates embedded by the trained TPGCL encoder, with
+        only the cheap sampling and outlier stages recomputed.
+        """
+        from repro.persist import PipelineState
+
+        state = self._warm_state
+        if state is None:
+            # Cache the export: serving N graphs must not re-copy every
+            # parameter array N times.  Training invalidates this via
+            # locate_anchors (which clears _warm_state).
+            state = PipelineState.from_fitted(self)
+            self._warm_state = state
+
+        self._graph = graph
+        self.mhgae = state.bind_mhgae(graph)
+        node_scores = self.mhgae.score_nodes()
+        anchor_nodes = select_anchor_nodes(
+            node_scores,
+            fraction=self.config.anchor_fraction,
+            maximum=self.config.max_anchors,
+        )
+        candidates = self.sample_candidates(graph, anchor_nodes)
+
+        self.tpgcl, embeddings = self._warm_embed(state, graph, candidates)
+
+        outputs = _StageOutputs(
+            anchor_nodes=np.asarray(anchor_nodes),
+            node_scores=node_scores,
+            candidates=candidates,
+            embeddings=embeddings,
+            mhgae=self.mhgae,
+            tpgcl=self.tpgcl,
+        )
+        return self._score_stages(outputs, threshold)
+
+    def _warm_embed(self, state, graph: Graph, candidates: List[Group]):
+        """Embed candidates with a PipelineState's trained encoder (no training).
+
+        The single home of the warm TPGCL gating rule — the head applies
+        exactly when the training path would have run it (``use_tpgcl``,
+        ≥ 2 candidates) *and* the state actually carries a trained
+        encoder.  Returns ``(tpgcl_or_None, embeddings_or_None)``; used by
+        :meth:`detect_only` and the streaming warm start.
+        """
+        if not candidates:
+            return None, None
+        mean_features = self._mean_features(graph, candidates)
+        tpgcl = (
+            state.bind_tpgcl()
+            if self.config.use_tpgcl and len(candidates) >= 2
+            else None
+        )
+        if tpgcl is not None:
+            contrastive = tpgcl.embed_groups(graph, candidates)
+            return tpgcl, np.hstack([contrastive, mean_features])
+        return None, mean_features
+
+    def save(self, path) -> str:
+        """Persist the fitted pipeline as an artifact directory.
+
+        Writes encoder/MH-GAE parameters as ``arrays.npz`` plus a JSON
+        manifest (config, graph fingerprint, library versions); see
+        :mod:`repro.persist.artifact` for the format.
+        """
+        from repro.persist import save_pipeline
+
+        return str(save_pipeline(self, path))
+
+    @classmethod
+    def load(cls, path) -> "TPGrGAD":
+        """Load an artifact saved by :meth:`save` into a warm detector.
+
+        The returned detector serves :meth:`detect_only` immediately — no
+        retraining — and reproduces the saved pipeline's in-memory
+        ``fit_detect`` scores to machine precision on the fitted graph.
+        """
+        from repro.persist import load_pipeline
+
+        return load_pipeline(path)

@@ -76,16 +76,24 @@ class GroupDetectionResult:
         (``tests/test_golden_regression.py``): candidate/flagged groups are
         reduced to sorted node lists and scores to plain floats, so a
         refactor of ``fit_detect`` / ``fit_detect_many`` can be diffed
-        against a stored oracle.
+        against a stored oracle.  Everything passes through
+        :func:`repro.persist.to_native`, so numpy scalar types (an
+        ``np.float32`` threshold, ``np.int64`` node ids) can never crash
+        or mis-serialize ``json.dump`` regardless of which detector built
+        the result.
         """
-        return {
-            "method": self.method,
-            "threshold": float(self.threshold),
-            "scores": [float(score) for score in self.scores],
-            "candidate_groups": [sorted(group.nodes) for group in self.candidate_groups],
-            "anomalous_groups": sorted(sorted(group.nodes) for group in self.anomalous_groups),
-            "anchor_nodes": sorted(int(node) for node in self.anchor_nodes),
-        }
+        from repro.persist import to_native
+
+        return to_native(
+            {
+                "method": self.method,
+                "threshold": self.threshold,
+                "scores": self.scores,
+                "candidate_groups": [sorted(group.nodes) for group in self.candidate_groups],
+                "anomalous_groups": sorted(sorted(group.nodes) for group in self.anomalous_groups),
+                "anchor_nodes": sorted(int(node) for node in self.anchor_nodes),
+            }
+        )
 
     def evaluate(self, graph: Graph, truth_groups: Optional[Sequence[Group]] = None) -> EvaluationReport:
         """Score this result against the graph's ground-truth groups."""

@@ -21,6 +21,7 @@ import scipy.sparse as sp
 
 from repro.graph import Graph, normalized_adjacency
 from repro.nn import Adam, GCNConv, MLP, Module
+from repro.seeding import resolve_seed
 from repro.tensor import Tensor, no_grad
 
 Propagation = Union[np.ndarray, sp.spmatrix]
@@ -53,7 +54,9 @@ class GAEConfig:
     feature_scaling: str = "minmax"
     normalize_errors: bool = True
     sparse_propagation: bool = True
-    seed: int = 0
+    # None means "unset": standalone use resolves to 0, while a parent
+    # TPGrGADConfig fills it with a stream derived from its master seed.
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -139,7 +142,7 @@ class GraphAutoEncoder:
     def fit(self, graph: Graph) -> "GraphAutoEncoder":
         """Train encoder and decoders on ``graph`` (unsupervised)."""
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = np.random.default_rng(resolve_seed(config.seed))
         self._graph = graph
         self._structure_target = self._build_structure_target(graph)
         self._propagation = self._build_propagation(graph)
@@ -165,6 +168,43 @@ class GraphAutoEncoder:
             optimizer.step()
             self.training_result.losses.append(loss.item())
         return self
+
+    # ------------------------------------------------------------------
+    # Warm start / persistence
+    # ------------------------------------------------------------------
+    def attach(self, graph: Graph, state: Optional[dict] = None) -> "GraphAutoEncoder":
+        """Bind this model to ``graph`` *without training*.
+
+        Rebuilds the per-graph derived state (structure target, propagation
+        matrix, scaled features) and loads the trained parameters — from
+        ``state`` (produced by :meth:`state_dict`) or, when ``state`` is
+        omitted and the model is already fitted, from its own current
+        weights, so ``fit(g1); attach(g2)`` re-binds without ever
+        discarding the training.  This is the warm-start path used by the
+        artifact store: a loaded model can score any graph with the same
+        feature dimensionality as the one it was fitted on.
+        """
+        config = self.config
+        if state is None:
+            if self._model is None:
+                raise RuntimeError(
+                    "attach() needs trained weights: fit() first or pass state="
+                )
+            state = self._model.state_dict()
+        self._graph = graph
+        self._structure_target = self._build_structure_target(graph)
+        self._propagation = self._build_propagation(graph)
+        self._scaled_features = self._scale_features(graph.features)
+        rng = np.random.default_rng(resolve_seed(config.seed))
+        self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
+        if state is not None:
+            self._model.load_state_dict(state)
+        return self
+
+    def state_dict(self) -> dict:
+        """Trained parameters keyed by qualified name (see ``Module``)."""
+        self._require_fitted()
+        return self._model.state_dict()
 
     # ------------------------------------------------------------------
     # Scoring

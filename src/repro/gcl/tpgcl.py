@@ -24,6 +24,7 @@ from repro.gcl.encoder import GroupEncoder
 from repro.gcl.mine import MINEStatisticsNetwork, mine_mutual_information
 from repro.graph import Graph, Group
 from repro.nn import Adam
+from repro.seeding import resolve_seed
 from repro.tensor import no_grad
 
 
@@ -45,7 +46,9 @@ class TPGCLConfig:
     view_refresh_every: int = 10
     positive_augmentation: str = "PPA"
     negative_augmentation: str = "PBA"
-    seed: int = 0
+    # None means "unset": standalone use resolves to 0, while a parent
+    # TPGrGADConfig fills it with a stream derived from its master seed.
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -79,7 +82,7 @@ class TPGCL:
         self.encoder: Optional[GroupEncoder] = None
         self.statistics_network: Optional[MINEStatisticsNetwork] = None
         self.training_result = TPGCLTrainingResult()
-        self._rng = np.random.default_rng(self.config.seed)
+        self._rng = np.random.default_rng(resolve_seed(self.config.seed))
 
     # ------------------------------------------------------------------
     # Augmentation resolution
@@ -122,7 +125,7 @@ class TPGCL:
             raise ValueError("TPGCL needs at least two candidate groups")
         config = self.config
 
-        parameter_rng = np.random.default_rng(config.seed)
+        parameter_rng = np.random.default_rng(resolve_seed(config.seed))
         self.encoder = GroupEncoder(
             graph.n_features, config.hidden_dim, config.embedding_dim, rng=parameter_rng
         )
@@ -161,6 +164,51 @@ class TPGCL:
                 epoch_losses.append(loss.item())
             if epoch_losses:
                 self.training_result.losses.append(float(np.mean(epoch_losses)))
+        return self
+
+    # ------------------------------------------------------------------
+    # Warm start / persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Encoder (and, when present, MINE network) parameters.
+
+        Keys are prefixed ``encoder.`` / ``statistics_network.`` so both
+        sub-models round-trip through one flat mapping (the ``.npz`` layout
+        of the artifact store).
+        """
+        if self.encoder is None:
+            raise RuntimeError("call fit() before exporting state")
+        state = {f"encoder.{k}": v for k, v in self.encoder.state_dict().items()}
+        if self.statistics_network is not None:
+            state.update(
+                {f"statistics_network.{k}": v for k, v in self.statistics_network.state_dict().items()}
+            )
+        return state
+
+    def warm_start(self, n_features: int, state: dict) -> "TPGCL":
+        """Rebuild the fitted encoder (and MINE net) from :meth:`state_dict`.
+
+        After this call :meth:`embed_groups` works without any training —
+        the warm-start path of ``TPGrGAD.detect_only``.
+        """
+        config = self.config
+        rng = np.random.default_rng(resolve_seed(config.seed))
+        self.encoder = GroupEncoder(
+            n_features, config.hidden_dim, config.embedding_dim, rng=rng
+        )
+        self.encoder.load_state_dict(
+            {k[len("encoder."):]: v for k, v in state.items() if k.startswith("encoder.")}
+        )
+        stats_state = {
+            k[len("statistics_network."):]: v
+            for k, v in state.items()
+            if k.startswith("statistics_network.")
+        }
+        if stats_state:
+            self.statistics_network = MINEStatisticsNetwork(
+                config.embedding_dim, config.hidden_dim, rng=rng
+            )
+            self.statistics_network.load_state_dict(stats_state)
         return self
 
     # ------------------------------------------------------------------

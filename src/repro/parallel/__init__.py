@@ -1,0 +1,17 @@
+"""Parallel sharded execution of pipeline batches and experiment runs.
+
+See :mod:`repro.parallel.executor` for the sharding/parity design and
+``python -m repro.parallel --help`` for the CLI front end.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    default_worker_count,
+    parallel_fit_detect_many,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "default_worker_count",
+    "parallel_fit_detect_many",
+]

@@ -1,0 +1,288 @@
+"""Model-artifact persistence for fitted TP-GrGAD pipelines.
+
+An artifact is a directory with two files:
+
+* ``arrays.npz`` — every trained parameter as a float64 array, keyed
+  ``mhgae.<param>`` / ``tpgcl.encoder.<param>`` /
+  ``tpgcl.statistics_network.<param>`` (the qualified names of
+  :meth:`repro.nn.Module.state_dict`), saved uncompressed so the bytes
+  round-trip exactly and a loaded pipeline reproduces in-memory scores
+  bit for bit.
+* ``manifest.json`` — the full pipeline config, the fingerprint of the
+  graph the pipeline was fitted on, the feature dimensionality the
+  encoder weights require, library versions, and the artifact format
+  version.  All values pass through
+  :func:`repro.persist.serialize.to_native`, so numpy scalars in configs
+  can never corrupt the manifest.
+
+:class:`PipelineState` is the in-memory form; ``TPGrGAD.save`` /
+``TPGrGAD.load`` are thin wrappers over :func:`save_pipeline` /
+:func:`load_pipeline`.  MLOps rationale in DESIGN.md: the artifact is the
+reproducible unit of deployment — a worker (or a restarted stream
+process) loads it and serves ``detect_only`` without retraining.
+
+Module-level imports stay numpy-only: ``repro.core.result`` imports this
+package for :func:`to_native`, so pulling ``repro.core`` in eagerly here
+would create an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.persist.serialize import to_native
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import TPGrGADConfig
+    from repro.gae import MultiHopGAE
+    from repro.gcl import TPGCL
+    from repro.graph import Graph
+
+ARTIFACT_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+_MHGAE_PREFIX = "mhgae."
+_TPGCL_PREFIX = "tpgcl."
+
+
+# ----------------------------------------------------------------------
+# Config (de)serialisation
+# ----------------------------------------------------------------------
+def config_to_dict(config: "TPGrGADConfig") -> Dict:
+    """The full pipeline config as a nested JSON-ready dict.
+
+    Besides the dataclass fields this records ``derived_stage_seeds`` —
+    which stage seeds were derived rather than pinned — so a round-tripped
+    config keeps its ``reseed()`` semantics (a reconstructed config whose
+    stage seeds all *look* explicit would silently stop re-deriving).
+    """
+    import dataclasses
+
+    payload = to_native(dataclasses.asdict(config))
+    payload["derived_stage_seeds"] = list(getattr(config, "derived_stage_seeds", ()))
+    return payload
+
+
+def config_from_dict(payload: Dict) -> "TPGrGADConfig":
+    """Rebuild a :class:`TPGrGADConfig` written by :func:`config_to_dict`."""
+    from repro.core.config import TPGrGADConfig
+    from repro.gae import MHGAEConfig
+    from repro.gcl import TPGCLConfig
+    from repro.sampling import SamplerConfig
+
+    payload = dict(payload)
+    derived = tuple(payload.pop("derived_stage_seeds", ()))
+    payload["mhgae"] = MHGAEConfig(**payload["mhgae"])
+    payload["sampler"] = SamplerConfig(**payload["sampler"])
+    payload["tpgcl"] = TPGCLConfig(**payload["tpgcl"])
+    config = TPGrGADConfig(**payload)
+    config.derived_stage_seeds = derived
+    return config
+
+
+# ----------------------------------------------------------------------
+# The in-memory artifact
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineState:
+    """Everything needed to serve a fitted pipeline without retraining."""
+
+    config: "TPGrGADConfig"
+    n_features: int
+    mhgae_state: Optional[Dict[str, np.ndarray]] = None
+    tpgcl_state: Optional[Dict[str, np.ndarray]] = None
+    graph_fingerprint: Optional[str] = None
+    derived_stage_seeds: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fitted(cls, detector) -> "PipelineState":
+        """Capture a fitted ``TPGrGAD`` (after ``fit_detect``).
+
+        The recorded fingerprint is that of the graph the models were
+        *trained* on (tracked by the pipeline at fit time) — serving
+        ``detect_only`` on other graphs rebinds ``detector._graph`` but
+        must never change what the manifest claims the weights came from.
+        """
+        if detector.mhgae is None:
+            raise RuntimeError("cannot export an unfitted pipeline: call fit_detect first")
+        graph = detector._graph
+        fingerprint = getattr(detector, "_fitted_fingerprint", None)
+        n_features = getattr(detector, "_fitted_n_features", None)
+        if fingerprint is None and graph is not None:
+            fingerprint = graph.fingerprint()
+        if n_features is None:
+            n_features = int(graph.n_features) if graph is not None else -1
+        # Export the TPGCL that training actually produced, not whatever
+        # the last detect_only serve left on detector.tpgcl (a serve that
+        # skipped the head must not erase trained weights).
+        tpgcl = getattr(detector, "_fitted_tpgcl", None) or detector.tpgcl
+        return cls(
+            config=detector.config,
+            n_features=int(n_features),
+            mhgae_state=detector.mhgae.state_dict(),
+            tpgcl_state=tpgcl.state_dict() if tpgcl is not None else None,
+            graph_fingerprint=fingerprint,
+            derived_stage_seeds=tuple(getattr(detector.config, "derived_stage_seeds", ())),
+        )
+
+    # ------------------------------------------------------------------
+    # Warm model binding
+    # ------------------------------------------------------------------
+    def bind_mhgae(self, graph: "Graph") -> "MultiHopGAE":
+        """A scoring-ready MH-GAE: loaded weights, bound to ``graph``."""
+        from repro.gae import MultiHopGAE
+
+        if self.mhgae_state is None:
+            raise RuntimeError("artifact carries no MH-GAE state")
+        if self.n_features >= 0 and graph.n_features != self.n_features:
+            raise ValueError(
+                f"graph has {graph.n_features} features but the artifact was "
+                f"fitted on {self.n_features}"
+            )
+        model = MultiHopGAE(self.config.mhgae)
+        model.attach(graph, state=self.mhgae_state)
+        return model
+
+    def bind_tpgcl(self) -> Optional["TPGCL"]:
+        """An embedding-ready TPGCL (None when the stage was never trained).
+
+        The bound model is graph-independent, so it is built once and
+        memoized — a serving loop does not reconstruct the encoder and
+        re-copy every parameter array per request.  (The memo is dropped
+        on pickling: live models hold unpicklable closures.)
+        """
+        from repro.gcl import TPGCL
+
+        if self.tpgcl_state is None:
+            return None
+        bound = getattr(self, "_bound_tpgcl", None)
+        if bound is None:
+            bound = TPGCL(self.config.tpgcl).warm_start(self.n_features, self.tpgcl_state)
+            self._bound_tpgcl = bound
+        return bound
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_bound_tpgcl", None)
+        return state
+
+    # ------------------------------------------------------------------
+    # Disk format
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict:
+        """The JSON manifest describing this artifact."""
+        import scipy
+
+        return to_native(
+            {
+                "format_version": ARTIFACT_FORMAT_VERSION,
+                "method": "TP-GrGAD",
+                # config_to_dict embeds derived_stage_seeds — the single
+                # source the loader restores reseed() semantics from.
+                "config": config_to_dict(self.config),
+                "n_features": self.n_features,
+                "graph_fingerprint": self.graph_fingerprint,
+                "has_mhgae": self.mhgae_state is not None,
+                "has_tpgcl": self.tpgcl_state is not None,
+                "versions": {
+                    "python": platform.python_version(),
+                    "numpy": np.__version__,
+                    "scipy": scipy.__version__,
+                },
+                "created_at_unix": int(time.time()),
+            }
+        )
+
+    def save(self, path) -> Path:
+        """Write ``manifest.json`` + ``arrays.npz`` under directory ``path``."""
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {}
+        if self.mhgae_state is not None:
+            arrays.update({f"{_MHGAE_PREFIX}{k}": v for k, v in self.mhgae_state.items()})
+        if self.tpgcl_state is not None:
+            arrays.update({f"{_TPGCL_PREFIX}{k}": v for k, v in self.tpgcl_state.items()})
+        # Uncompressed: exact float64 bytes, and np.load stays mmap-able.
+        np.savez(root / ARRAYS_NAME, **arrays)
+        from repro.persist.serialize import dump_json
+
+        dump_json(root / MANIFEST_NAME, self.manifest())
+        return root
+
+    @classmethod
+    def load(cls, path) -> "PipelineState":
+        """Read an artifact directory written by :meth:`save`."""
+        root = Path(path)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no pipeline artifact at '{root}' (missing {MANIFEST_NAME})")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        version = manifest.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported artifact format_version {version!r} "
+                f"(this build reads {ARTIFACT_FORMAT_VERSION})"
+            )
+        config = config_from_dict(manifest["config"])  # restores derived_stage_seeds
+
+        mhgae_state: Optional[Dict[str, np.ndarray]] = None
+        tpgcl_state: Optional[Dict[str, np.ndarray]] = None
+        with np.load(root / ARRAYS_NAME) as arrays:
+            for key in arrays.files:
+                if key.startswith(_MHGAE_PREFIX):
+                    mhgae_state = mhgae_state or {}
+                    mhgae_state[key[len(_MHGAE_PREFIX):]] = arrays[key]
+                elif key.startswith(_TPGCL_PREFIX):
+                    tpgcl_state = tpgcl_state or {}
+                    tpgcl_state[key[len(_TPGCL_PREFIX):]] = arrays[key]
+        if manifest.get("has_mhgae") and mhgae_state is None:
+            raise ValueError(f"artifact at '{root}' declares MH-GAE state but {ARRAYS_NAME} has none")
+        if manifest.get("has_tpgcl") and tpgcl_state is None:
+            raise ValueError(f"artifact at '{root}' declares TPGCL state but {ARRAYS_NAME} has none")
+        return cls(
+            config=config,
+            n_features=int(manifest["n_features"]),
+            mhgae_state=mhgae_state,
+            tpgcl_state=tpgcl_state,
+            graph_fingerprint=manifest.get("graph_fingerprint"),
+            derived_stage_seeds=tuple(getattr(config, "derived_stage_seeds", ())),
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers (what ``TPGrGAD.save`` / ``.load`` call)
+# ----------------------------------------------------------------------
+def save_pipeline(detector, path) -> Path:
+    """Persist a fitted ``TPGrGAD`` to an artifact directory.
+
+    A detector that came from :func:`load_pipeline` and was never
+    re-trained re-saves its loaded state verbatim — same weights, same
+    fitted-graph fingerprint — even after serving ``detect_only`` on
+    other graphs (which rebinds the live models but does not train).
+    Training (``fit_detect`` / a stream refit) clears the loaded state,
+    so a re-fitted detector exports its fresh models instead.
+    """
+    state = getattr(detector, "_warm_state", None)
+    if state is None:
+        state = PipelineState.from_fitted(detector)
+    return state.save(path)
+
+
+def load_pipeline(path):
+    """Load an artifact into a warm ``TPGrGAD`` (serves ``detect_only``)."""
+    from repro.core.pipeline import TPGrGAD
+
+    state = PipelineState.load(path)
+    detector = TPGrGAD(state.config)
+    detector._warm_state = state
+    return detector

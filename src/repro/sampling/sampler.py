@@ -25,6 +25,7 @@ import numpy as np
 from repro.graph import Graph, Group
 from repro.sampling.engine import MultiSourceSearchEngine
 from repro.sampling.searches import cycle_search, merge_groups, path_search, tree_search
+from repro.seeding import resolve_seed
 
 
 @dataclass
@@ -46,7 +47,9 @@ class SamplerConfig:
     max_cycles_per_anchor: int = 3
     max_anchor_pairs: int = 400
     max_candidates: int = 300
-    seed: int = 0
+    # None means "unset": standalone use resolves to 0, while a parent
+    # TPGrGADConfig fills it with a stream derived from its master seed.
+    seed: Optional[int] = None
     vectorized: bool = True
 
     @property
@@ -119,12 +122,14 @@ class CandidateGroupSampler:
     def rng(self) -> np.random.Generator:
         """The sampler's persistent random stream (lazily seeded)."""
         if self._rng is None:
-            self._rng = np.random.default_rng(self.config.seed)
+            self._rng = np.random.default_rng(resolve_seed(self.config.seed))
         return self._rng
 
     def reset_rng(self, seed: Optional[int] = None) -> None:
         """Rewind the persistent stream (to ``seed`` or ``config.seed``)."""
-        self._rng = np.random.default_rng(self.config.seed if seed is None else seed)
+        self._rng = np.random.default_rng(
+            resolve_seed(self.config.seed) if seed is None else seed
+        )
 
     # ------------------------------------------------------------------
     def sample(

@@ -22,7 +22,7 @@ from repro.gae import MHGAEConfig
 from repro.gcl import TPGCLConfig
 from repro.sampling import SamplerConfig
 from repro.stream.incremental import StreamConfig
-from repro.stream.replay import replay_event_stream, write_summary_json
+from repro.stream.replay import ReplayDriver, replay_event_stream, write_summary_json
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also replay with refit_policy=always and report the speedup")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the summaries as JSON (BENCH_stream.json schema)")
+    parser.add_argument("--artifact", metavar="PATH", default=None,
+                        help="warm-start the detector from a saved pipeline artifact "
+                             "(repro.persist) instead of an initial training refit")
+    parser.add_argument("--save-artifact", metavar="PATH", default=None,
+                        help="save the detector's fitted pipeline as an artifact after the replay")
     return parser
 
 
@@ -76,19 +81,36 @@ def main(argv=None) -> int:
         f"-> final {stream.final.n_nodes} nodes / {stream.final.n_edges} edges over {stream.n_ticks} ticks"
     )
 
-    config = pipeline_config(args)
+    config = None if args.artifact else pipeline_config(args)
+    if args.artifact:
+        print(
+            f"using pipeline config stored in artifact '{args.artifact}' "
+            "(--mhgae-epochs/--tpgcl-epochs and the pipeline seed are taken "
+            "from the artifact, not the CLI flags)"
+        )
     stream_config = StreamConfig(refit_policy=args.policy, drift_budget=args.drift_budget)
-    summary = replay_event_stream(
-        stream, config, stream_config, finalize=not args.no_finalize
-    )
+    driver = ReplayDriver.for_stream(stream, config, stream_config, artifact=args.artifact)
+    summary = driver.run_stream(stream, finalize=not args.no_finalize)
     print(summary.render())
     summaries = [summary]
+
+    if args.save_artifact:
+        # After a refit (mid-stream or the flush) the driver's inner
+        # pipeline holds the models that scored the final snapshot —
+        # persist exactly those.  If no refit ever ran (e.g. --artifact
+        # with --no-finalize), save() re-exports the loaded state; say so
+        # instead of claiming a fresh fit.
+        path = driver.detector.detector.save(args.save_artifact)
+        if driver.detector.n_refits > 0:
+            print(f"saved fitted pipeline artifact to {path}")
+        else:
+            print(f"re-exported loaded artifact state to {path} (no refit ran this replay)")
 
     extra = {}
     if args.compare_refit and args.policy != "always":
         oracle = replay_event_stream(
             stream,
-            pipeline_config(args),
+            driver.detector.config,  # same config even when loaded from an artifact
             replace(stream_config, refit_policy="always"),
             finalize=not args.no_finalize,
         )

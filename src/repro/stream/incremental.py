@@ -35,6 +35,8 @@ so the stream's final answer is *identical* to running the batch
 
 from __future__ import annotations
 
+import copy
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -47,6 +49,7 @@ from repro.core.result import GroupDetectionResult
 from repro.gcl import TPGCL
 from repro.graph import Graph, Group
 from repro.sampling import CandidateGroupSampler, MultiSourceSearchEngine, SampleCollection
+from repro.seeding import resolve_seed
 from repro.stream.delta import DeltaReport, GraphDelta, StreamingGraph
 
 
@@ -128,14 +131,43 @@ class IncrementalTPGrGAD:
         base_graph: Graph,
         config: Optional[TPGrGADConfig] = None,
         stream_config: Optional[StreamConfig] = None,
+        artifact: Optional[str] = None,
     ) -> None:
-        self.detector = TPGrGAD(config)
+        if artifact is not None:
+            # Warm start from a saved model artifact (see repro.persist) or
+            # an already-fitted TPGrGAD: the initial detection state comes
+            # from the trained weights via detect_only-style scoring
+            # instead of a full training refit — a restarted stream process
+            # resumes serving in seconds.  The artifact's config is used
+            # unless the caller overrides it; an override applies to warm
+            # scoring too.  A shape-incompatible override fails loudly at
+            # state load; an override that keeps shapes but changes model
+            # semantics (MH-GAE target, feature scaling, ...) scores the
+            # warm period with weights trained under the artifact's
+            # settings — warm results are approximate by contract either
+            # way, and the first refit adopts the override fully.
+            if isinstance(artifact, (str, os.PathLike)):
+                self.detector = TPGrGAD.load(artifact)
+            else:
+                # Don't adopt the caller's detector object: stream refits
+                # rebind its models and a config override must not leak
+                # back into the caller's instance.
+                self.detector = copy.copy(artifact)
+            if config is not None:
+                self.detector.config = config
+                if self.detector._warm_state is not None:
+                    warm = copy.copy(self.detector._warm_state)
+                    warm.config = config
+                    self.detector._warm_state = warm
+        else:
+            self.detector = TPGrGAD(config)
         self.config = self.detector.config
         self.stream_config = stream_config or StreamConfig()
         self.streaming = StreamingGraph(base_graph)
 
         # Lifetime counters (reported by the replay driver).
         self.n_refits = 0
+        self.n_warm_starts = 0
         self.n_incremental_ticks = 0
         self.pair_hits = 0
         self.pair_misses = 0
@@ -155,7 +187,10 @@ class IncrementalTPGrGAD:
         self._dirty_since_refit = False
         self._result: Optional[GroupDetectionResult] = None
 
-        self._refit(self.graph)
+        if artifact is not None:
+            self._warm_start(self.graph)
+        else:
+            self._refit(self.graph)
 
     # ------------------------------------------------------------------
     @property
@@ -212,22 +247,10 @@ class IncrementalTPGrGAD:
         result = self._scored_result(
             graph, candidates, embeddings, np.asarray(anchors, dtype=int), node_scores
         )
-
-        self._anchors = anchors
-        self._pairs = pairs
-        self._collection = collection
-        self._provisional = []
-        self._provisional_pairs = {}
-        self._tpgcl = detector.tpgcl
-        self._node_scores = node_scores
-        self._embed_rows = (
-            {group.node_tuple(): embeddings[i] for i, group in enumerate(candidates)}
-            if embeddings is not None
-            else {}
+        self._install_generation(
+            graph, anchors, pairs, collection, candidates, embeddings,
+            node_scores, result, dirty_since_refit=False,
         )
-        self._dirty_mask = np.zeros(graph.n_nodes, dtype=bool)
-        self._dirty_since_refit = False
-        self._result = result
         self.n_refits += 1
 
         return TickReport(
@@ -246,6 +269,110 @@ class IncrementalTPGrGAD:
             embeddings_recomputed=len(candidates),
             result=result,
         )
+
+    # ------------------------------------------------------------------
+    # Warm start from a loaded artifact (no training)
+    # ------------------------------------------------------------------
+    def _warm_start(self, graph: Graph) -> TickReport:
+        """Build the initial detection state from loaded artifact weights.
+
+        Mirrors :meth:`_refit`'s state installation but scores with the
+        artifact's trained MH-GAE / TPGCL instead of training fresh ones —
+        the same semantics as ``TPGrGAD.detect_only``.  The result is not
+        batch-parity on this snapshot (the weights were trained on the
+        artifact's fitted graph); the first budget-triggered or flush
+        refit restores exact parity.
+        """
+        from repro.gae import select_anchor_nodes
+        from repro.persist import PipelineState
+
+        start = time.perf_counter()
+        detector = self.detector
+        config = self.config
+        # Loaded artifacts carry their state; a fitted in-memory detector
+        # passed as `artifact=` exports its live models instead (the same
+        # fallback TPGrGAD.detect_only uses).
+        state = detector._warm_state
+        if state is None:
+            state = PipelineState.from_fitted(detector)
+        detector._graph = graph
+
+        detector.mhgae = state.bind_mhgae(graph)
+        node_scores = detector.mhgae.score_nodes()
+        anchors = [
+            int(a)
+            for a in select_anchor_nodes(
+                node_scores, fraction=config.anchor_fraction, maximum=config.max_anchors
+            )
+        ]
+
+        sampler = CandidateGroupSampler(config.sampler)
+        pairs = sampler.propose_pairs(anchors)
+        collection = sampler.collect(graph, anchors, pairs)
+        candidates = sampler.finalize(collection.ordered_candidates(pairs, anchors))
+
+        detector.tpgcl, embeddings = detector._warm_embed(state, graph, candidates)
+
+        result = self._scored_result(
+            graph, candidates, embeddings, np.asarray(anchors, dtype=int), node_scores
+        )
+        # dirty_since_refit deliberately True: the warm result is an
+        # approximation, so finalize() must still run one true refit to
+        # restore batch parity.
+        self._install_generation(
+            graph, anchors, pairs, collection, candidates, embeddings,
+            node_scores, result, dirty_since_refit=True,
+        )
+        self.n_warm_starts += 1
+
+        return TickReport(
+            version=self.streaming.version,
+            mode="warm",
+            seconds=time.perf_counter() - start,
+            n_touched=0,
+            dirty_ball=0,
+            dirty_fraction=0.0,
+            n_dirty_anchors=len(anchors),
+            pairs_reused=0,
+            pairs_recomputed=len(pairs),
+            cycles_reused=0,
+            cycles_recomputed=len(anchors),
+            embeddings_reused=0,
+            embeddings_recomputed=len(candidates),
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-generation cached state (shared tail of _refit / _warm_start)
+    # ------------------------------------------------------------------
+    def _install_generation(
+        self,
+        graph: Graph,
+        anchors: List[int],
+        pairs: List[Tuple[int, int]],
+        collection: SampleCollection,
+        candidates: List[Group],
+        embeddings: Optional[np.ndarray],
+        node_scores: Optional[np.ndarray],
+        result: GroupDetectionResult,
+        dirty_since_refit: bool,
+    ) -> None:
+        """Replace all cached per-generation state in one place."""
+        self._anchors = anchors
+        self._pairs = pairs
+        self._collection = collection
+        self._provisional = []
+        self._provisional_pairs = {}
+        self._tpgcl = self.detector.tpgcl
+        self._node_scores = node_scores
+        self._embed_rows = (
+            {group.node_tuple(): embeddings[i] for i, group in enumerate(candidates)}
+            if embeddings is not None
+            else {}
+        )
+        self._dirty_mask = np.zeros(graph.n_nodes, dtype=bool)
+        self._dirty_since_refit = dirty_since_refit
+        self._result = result
 
     # ------------------------------------------------------------------
     # Shared stage-3 tail
@@ -408,7 +535,9 @@ class IncrementalTPGrGAD:
 
         sampler = CandidateGroupSampler(sampler_config)
         # Deterministic per-tick stream for the (rarely hit) candidate cap.
-        cap_rng = np.random.default_rng((sampler_config.seed, self.streaming.version))
+        cap_rng = np.random.default_rng(
+            (resolve_seed(sampler_config.seed), self.streaming.version)
+        )
         candidates = sampler.finalize(
             self._collection.ordered_candidates(all_pairs, all_anchors), rng=cap_rng
         )

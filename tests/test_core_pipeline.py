@@ -11,12 +11,20 @@ from repro.graph import Group
 
 
 class TestConfig:
-    def test_fast_config_is_valid(self):
+    def test_fast_config_derives_distinct_stage_seeds(self):
         config = TPGrGADConfig.fast(seed=5)
         assert config.seed == 5
-        assert config.mhgae.seed == 5
-        assert config.sampler.seed == 5
-        assert config.tpgcl.seed == 5
+        # Unset stage seeds get per-stage streams derived from the master —
+        # distinct from each other and from the master itself.
+        stage_seeds = {config.mhgae.seed, config.sampler.seed, config.tpgcl.seed}
+        assert len(stage_seeds) == 3
+        assert 5 not in stage_seeds
+        assert config.derived_stage_seeds == ("mhgae", "sampler", "tpgcl")
+        # The derivation is deterministic: same master, same stage seeds.
+        again = TPGrGADConfig.fast(seed=5)
+        assert (again.mhgae.seed, again.sampler.seed, again.tpgcl.seed) == (
+            config.mhgae.seed, config.sampler.seed, config.tpgcl.seed,
+        )
 
     def test_invalid_anchor_fraction(self):
         with pytest.raises(ValueError):
@@ -29,6 +37,23 @@ class TestConfig:
     def test_explicit_stage_seeds_preserved(self):
         config = TPGrGADConfig(mhgae=MHGAEConfig(seed=42), seed=7)
         assert config.mhgae.seed == 42
+
+    def test_explicit_zero_stage_seed_wins(self):
+        # The historical footgun: an explicit stage seed of 0 used to be
+        # silently overwritten by the master seed.  0 must stick.
+        config = TPGrGADConfig(mhgae=MHGAEConfig(seed=0), seed=7)
+        assert config.mhgae.seed == 0
+        assert "mhgae" not in config.derived_stage_seeds
+
+    def test_reseed_rederives_only_unpinned_stages(self):
+        config = TPGrGADConfig(mhgae=MHGAEConfig(seed=42), seed=7)
+        clone = config.reseed(8)
+        assert clone.seed == 8
+        assert clone.mhgae.seed == 42  # pinned stays pinned
+        assert clone.sampler.seed != config.sampler.seed  # derived follows
+        assert clone.tpgcl.seed != config.tpgcl.seed
+        # Original untouched.
+        assert config.seed == 7
 
 
 class TestResultContainer:

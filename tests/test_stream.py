@@ -401,14 +401,27 @@ class TestEventStreams:
         payload = summary.to_json_dict()
         for key in (
             "events_per_second",
+            "incremental_events_per_second",
+            "processing_seconds",
+            "finalize_seconds",
             "p50_tick_latency_seconds",
             "p95_tick_latency_seconds",
+            "p50_incremental_tick_latency_seconds",
+            "p95_incremental_tick_latency_seconds",
+            "p50_refit_tick_latency_seconds",
+            "p95_refit_tick_latency_seconds",
             "n_refits",
             "n_incremental_ticks",
             "pair_cache_hits",
             "detection_lag_ticks",
         ):
             assert key in payload
+        # The throughput denominator is processing time (ticks + flush),
+        # and the per-mode latency splits partition the tick population.
+        assert summary.processing_seconds <= summary.total_seconds + 1e-6
+        assert len(summary.incremental_tick_seconds) == summary.n_incremental
+        assert len(summary.refit_tick_seconds) == summary.n_refits
+        assert sum(summary.tick_event_counts) == summary.n_events
         # Final result parity after the flush refit.
         batch = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(stream.final)
         assert np.array_equal(summary.final_result.scores, batch.scores)
