@@ -1,0 +1,152 @@
+"""Benchmark SV-1 — micro-batched serving vs sequential request scoring.
+
+Pins the acceptance claims of the online scoring service:
+
+1. **Parity** — a response served through the micro-batcher carries
+   exactly the scores of a direct ``detect_only`` on the same graph +
+   artifact (compared at 1e-8; in practice identical JSON).
+2. **Throughput** — a closed-loop load of 8 concurrent clients drawing
+   requests from a small pool of distinct graphs completes ≥ 2× faster
+   against the micro-batching server (``max_batch=16``) than against the
+   sequential baseline (``max_batch=1``, every request scored
+   individually).  The win is within-batch deduplication — concurrent
+   requests for the same snapshot are scored once and fanned out — i.e.
+   the serving-time analogue of the pipeline's per-graph stage cache.
+
+Writes ``BENCH_serve.json`` (the artifact the CI serve job uploads);
+set ``BENCH_SERVE_JSON`` to redirect it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets import make_example_graph
+from repro.gae import MHGAEConfig
+from repro.gcl import TPGCLConfig
+from repro.persist import dump_json
+from repro.sampling import SamplerConfig
+from repro.serve import ModelRegistry, ScoringClient, ServeConfig, start_server_thread
+
+CONCURRENCY = 8
+REQUESTS_PER_CLIENT = 6
+GRAPH_POOL_SEEDS = (7, 11)  # 2 distinct graphs → ideal dedup gain ≈ 8/2
+REQUIRED_SPEEDUP = 2.0
+SCORE_TOLERANCE = 1e-8
+
+
+def _config() -> TPGrGADConfig:
+    """Heavy enough that scoring dominates HTTP overhead (~25ms/score)."""
+    return TPGrGADConfig(
+        mhgae=MHGAEConfig(epochs=8, hidden_dim=16, embedding_dim=8),
+        sampler=SamplerConfig(max_candidates=60, max_anchor_pairs=80),
+        tpgcl=TPGCLConfig(epochs=3, hidden_dim=16, embedding_dim=16, batch_size=16),
+        max_anchors=15,
+        seed=1,
+    )
+
+
+def _closed_loop(port: int, graphs) -> float:
+    """8 clients, each scoring its request sequence; returns elapsed seconds."""
+    barrier = threading.Barrier(CONCURRENCY)
+
+    def worker(worker_index: int) -> None:
+        with ScoringClient(port=port, timeout=300) as client:
+            barrier.wait()
+            for request_index in range(REQUESTS_PER_CLIENT):
+                graph = graphs[(worker_index + request_index) % len(graphs)]
+                client.score(graph)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CONCURRENCY) as pool:
+        for outcome in [pool.submit(worker, i) for i in range(CONCURRENCY)]:
+            outcome.result()
+    return time.perf_counter() - start
+
+
+def test_micro_batched_serving_speedup(tmp_path, benchmark):
+    graphs = [make_example_graph(seed=seed) for seed in GRAPH_POOL_SEEDS]
+    detector = TPGrGAD(_config())
+    detector.fit_detect(graphs[0])
+    artifact = detector.save(tmp_path / "artifact")
+    n_requests = CONCURRENCY * REQUESTS_PER_CLIENT
+
+    def run_mode(max_batch: int, max_wait_ms: float):
+        registry = ModelRegistry()
+        registry.load("bench", artifact)
+        config = ServeConfig(max_batch=max_batch, max_wait_ms=max_wait_ms, queue_size=256)
+        with start_server_thread(registry, config) as handle:
+            with ScoringClient(port=handle.port) as client:
+                warm = [client.score(graph) for graph in graphs]  # warm + parity probe
+                elapsed = _closed_loop(handle.port, graphs)
+                metrics = client.metrics()
+        return warm, elapsed, metrics
+
+    # --- claim 1: parity with the direct, unbatched call ------------------
+    loaded = TPGrGAD.load(artifact)
+    parity_diff = 0.0
+    sequential_warm, sequential_elapsed, sequential_metrics = run_mode(1, 0.0)
+    batched_warm, batched_elapsed, batched_metrics = benchmark.pedantic(
+        lambda: run_mode(16, 5.0), rounds=1, iterations=1
+    )
+    for graph, served_a, served_b in zip(graphs, sequential_warm, batched_warm):
+        direct = loaded.detect_only(graph)
+        for served in (served_a, served_b):
+            scores = np.asarray(served["result"]["scores"], dtype=np.float64)
+            assert scores.shape == direct.scores.shape
+            parity_diff = max(parity_diff, float(np.abs(scores - direct.scores).max()))
+    assert parity_diff <= SCORE_TOLERANCE
+
+    # --- claim 2: batched serving ≥ 2× sequential request throughput ------
+    sequential_rps = n_requests / sequential_elapsed
+    batched_rps = n_requests / batched_elapsed
+    speedup = batched_rps / sequential_rps
+    # The batcher must actually have coalesced (and deduplicated) work —
+    # a speedup from noise alone would not show these.
+    assert batched_metrics["dedup_hits_total"] > 0
+    assert batched_metrics["mean_batch_size"] > 1.5
+    assert sequential_metrics["mean_batch_size"] == 1.0
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"micro-batched serving only reached {speedup:.2f}x sequential "
+        f"({batched_rps:.1f} vs {sequential_rps:.1f} req/s)"
+    )
+
+    benchmark.extra_info["sequential_rps"] = round(sequential_rps, 1)
+    benchmark.extra_info["batched_rps"] = round(batched_rps, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["mean_batch_size"] = batched_metrics["mean_batch_size"]
+
+    dump_json(
+        os.environ.get("BENCH_SERVE_JSON", "BENCH_serve.json"),
+        {
+            "concurrency": CONCURRENCY,
+            "n_requests": n_requests,
+            "graph_pool": len(graphs),
+            "sequential_rps": round(sequential_rps, 2),
+            "batched_rps": round(batched_rps, 2),
+            "speedup": round(speedup, 2),
+            "required_speedup": REQUIRED_SPEEDUP,
+            "parity_max_abs_diff": parity_diff,
+            "sequential": {
+                "scored_total": sequential_metrics["scored_total"],
+                "mean_batch_size": sequential_metrics["mean_batch_size"],
+                "p50_latency_ms": sequential_metrics["p50_latency_ms"],
+                "p95_latency_ms": sequential_metrics["p95_latency_ms"],
+            },
+            "batched": {
+                "scored_total": batched_metrics["scored_total"],
+                "mean_batch_size": batched_metrics["mean_batch_size"],
+                "batch_size_histogram": batched_metrics["batch_size_histogram"],
+                "dedup_hits_total": batched_metrics["dedup_hits_total"],
+                "p50_latency_ms": batched_metrics["p50_latency_ms"],
+                "p95_latency_ms": batched_metrics["p95_latency_ms"],
+                "shed_total": batched_metrics["shed_total"],
+            },
+        },
+    )

@@ -43,6 +43,10 @@ _LAZY_ATTRS = {
     "save_pipeline": ("repro.persist", "save_pipeline"),
     "load_pipeline": ("repro.persist", "load_pipeline"),
     "to_native": ("repro.persist", "to_native"),
+    "ModelRegistry": ("repro.serve", "ModelRegistry"),
+    "ScoringServer": ("repro.serve", "ScoringServer"),
+    "ScoringClient": ("repro.serve", "ScoringClient"),
+    "ServeConfig": ("repro.serve", "ServeConfig"),
 }
 
 
@@ -72,5 +76,9 @@ __all__ = [
     "save_pipeline",
     "load_pipeline",
     "to_native",
+    "ModelRegistry",
+    "ScoringServer",
+    "ScoringClient",
+    "ServeConfig",
     "__version__",
 ]

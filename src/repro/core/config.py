@@ -86,6 +86,26 @@ class TPGrGADConfig:
                 derived_stages.append(stage)
         self.derived_stage_seeds: Tuple[str, ...] = tuple(derived_stages)
 
+    def content_hash(self) -> str:
+        """Stable content hash of every hyperparameter of every stage.
+
+        The digest is taken over the canonical JSON form of
+        :func:`repro.persist.config_to_dict` — exactly what an artifact
+        manifest stores — so two configs share a hash precisely when they
+        would serialize to identical manifests (and therefore run
+        identical pipelines).  It is the single config-identity key used
+        by the pipeline stage cache, the artifact manifest and the serve
+        registry; unlike ``repr(config)`` it is insensitive to dataclass
+        field ordering cosmetics and stable across processes.
+        """
+        import hashlib
+        import json
+
+        from repro.persist import config_to_dict
+
+        payload = json.dumps(config_to_dict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
     def reseed(self, seed: int) -> "TPGrGADConfig":
         """A deep copy of this config re-derived from a new master ``seed``.
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,7 @@ class TPGrGAD:
         self._stage_cache: "OrderedDict[Tuple[str, str], _StageOutputs]" = OrderedDict()
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        self.cache_evictions: int = 0
         # Loaded artifact state (set by TPGrGAD.load); detect_only prefers
         # it over the live fitted models.
         self._warm_state = None
@@ -145,13 +146,36 @@ class TPGrGAD:
     # Stage orchestration + per-graph cache
     # ------------------------------------------------------------------
     def _cache_key(self, graph: Graph) -> Tuple[str, str]:
-        # The dataclass repr covers every hyperparameter of every stage, so
-        # two configs share a key exactly when they run identical pipelines.
-        return (graph.fingerprint(), repr(self.config))
+        # content_hash covers every hyperparameter of every stage, so two
+        # configs share a key exactly when they run identical pipelines —
+        # and it is the same identity the artifact manifest and the serve
+        # registry use, so a cache key can be correlated with a deployed
+        # model version.
+        return (graph.fingerprint(), self.config.content_hash())
 
     def clear_cache(self) -> None:
-        """Drop all cached per-graph stage outputs."""
+        """Drop all cached stage outputs and reset the cache counters."""
         self._stage_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
+    def cache_info(self) -> Dict[str, int]:
+        """Stage-cache statistics: hits / misses / evictions / sizes.
+
+        The public read surface for operational monitoring (the serve
+        layer's ``/metrics`` endpoint reports this verbatim) — callers
+        never need to poke the private LRU.  Counters accumulate until
+        :meth:`clear_cache` resets them, so they cannot grow unboundedly
+        out of sync with a cache that was just emptied.
+        """
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "currsize": len(self._stage_cache),
+            "maxsize": self.config.cache_size,
+        }
 
     def _run_stages(self, graph: Graph) -> _StageOutputs:
         """Run (or recall) the deterministic training stages for ``graph``.
@@ -195,6 +219,7 @@ class TPGrGAD:
             self._stage_cache[key] = outputs
             while len(self._stage_cache) > self.config.cache_size:
                 self._stage_cache.popitem(last=False)
+                self.cache_evictions += 1
         return outputs
 
     def _score_stages(self, outputs: _StageOutputs, threshold: Optional[float]) -> GroupDetectionResult:
@@ -312,6 +337,15 @@ class TPGrGAD:
         the warm-start serving path — anchors are scored by the trained
         MH-GAE and candidates embedded by the trained TPGCL encoder, with
         only the cheap sampling and outlier stages recomputed.
+
+        The computation itself only reads the (immutable) config and
+        :class:`~repro.persist.PipelineState`, and every per-call model
+        binding and intermediate lives in locals — overlapping
+        ``detect_only`` calls on one warm detector from multiple threads
+        each produce exactly their serial result.  The instance attributes
+        (``mhgae`` / ``tpgcl`` / ``_graph``) are rebound only at the end,
+        as the usual post-call inspection surface; under concurrency they
+        reflect *some* recent call, never a torn mix inside a result.
         """
         from repro.persist import PipelineState
 
@@ -323,9 +357,8 @@ class TPGrGAD:
             state = PipelineState.from_fitted(self)
             self._warm_state = state
 
-        self._graph = graph
-        self.mhgae = state.bind_mhgae(graph)
-        node_scores = self.mhgae.score_nodes()
+        mhgae = state.bind_mhgae(graph)
+        node_scores = mhgae.score_nodes()
         anchor_nodes = select_anchor_nodes(
             node_scores,
             fraction=self.config.anchor_fraction,
@@ -333,16 +366,19 @@ class TPGrGAD:
         )
         candidates = self.sample_candidates(graph, anchor_nodes)
 
-        self.tpgcl, embeddings = self._warm_embed(state, graph, candidates)
+        tpgcl, embeddings = self._warm_embed(state, graph, candidates)
 
         outputs = _StageOutputs(
             anchor_nodes=np.asarray(anchor_nodes),
             node_scores=node_scores,
             candidates=candidates,
             embeddings=embeddings,
-            mhgae=self.mhgae,
-            tpgcl=self.tpgcl,
+            mhgae=mhgae,
+            tpgcl=tpgcl,
         )
+        self._graph = graph
+        self.mhgae = mhgae
+        self.tpgcl = tpgcl
         return self._score_stages(outputs, threshold)
 
     def _warm_embed(self, state, graph: Graph, candidates: List[Group]):
@@ -377,6 +413,20 @@ class TPGrGAD:
         from repro.persist import save_pipeline
 
         return str(save_pipeline(self, path))
+
+    @classmethod
+    def from_state(cls, state) -> "TPGrGAD":
+        """Wrap a :class:`repro.persist.PipelineState` in a warm detector.
+
+        The in-memory counterpart of :meth:`load`: the returned detector
+        serves :meth:`detect_only` from ``state`` without retraining.
+        This is the constructor the serve registry uses — it holds the
+        ``PipelineState`` itself (for identity metadata) and builds the
+        serving detector from it through this public seam.
+        """
+        detector = cls(state.config)
+        detector._warm_state = state
+        return detector
 
     @classmethod
     def load(cls, path) -> "TPGrGAD":

@@ -319,6 +319,43 @@ class Graph:
         return digest.hexdigest()
 
     # ------------------------------------------------------------------
+    # JSON wire format
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict:
+        """JSON-serialisable form: ``n_nodes``, edge pairs, features, name.
+
+        This is the wire format of the scoring service (``POST /score``
+        bodies carry one of these under ``"graph"``).  Ground-truth groups
+        are deliberately excluded — detectors ignore them, and a scoring
+        request has no business shipping labels.  Round-trips exactly
+        through :meth:`from_json_dict`: same fingerprint, same scores.
+        """
+        return {
+            "n_nodes": int(self.n_nodes),
+            "edges": self._edge_index.T.tolist(),
+            "features": self.features.tolist(),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "Graph":
+        """Rebuild a graph written by :meth:`to_json_dict`.
+
+        Also accepts hand-written payloads: ``features`` may be omitted
+        (defaulting to the usual all-zeros single attribute) and ``name``
+        falls back to ``"graph"``.
+        """
+        if "n_nodes" not in payload:
+            raise ValueError("graph payload must carry 'n_nodes'")
+        features = payload.get("features")
+        return cls(
+            n_nodes=int(payload["n_nodes"]),
+            edges=payload.get("edges", ()),
+            features=None if features is None else np.asarray(features, dtype=np.float64),
+            name=str(payload.get("name", "graph")),
+        )
+
+    # ------------------------------------------------------------------
     # Ground-truth helpers
     # ------------------------------------------------------------------
     def anomaly_node_mask(self) -> np.ndarray:

@@ -198,10 +198,14 @@ class ParallelExecutor:
         # Collapse duplicate graphs when every item runs the identical
         # pipeline (same config, no per-index seeds): the cross-worker
         # equivalent of the serial stage cache (counter caveats under
-        # LRU eviction pressure: see module docstring).  cache_size == 0
-        # means the user disabled caching — mirror the serial semantics
-        # exactly: recompute duplicates and count only misses.
-        if seeds is None and self.artifact is None and self.config.cache_size:
+        # LRU eviction pressure: see module docstring).  Warm artifact
+        # serving is deterministic per graph, so duplicates collapse
+        # there too — the scoring service's micro-batches lean on this.
+        # cache_size == 0 means the user disabled caching — mirror the
+        # serial semantics exactly: recompute duplicates and count only
+        # misses (the artifact's own cache_size is not consulted; the
+        # broadcast path never retrains, so collapsing is always sound).
+        if seeds is None and (self.artifact is not None or self.config.cache_size):
             first_index: Dict[str, int] = {}
             assignment: List[int] = []
             unique: List[Graph] = []

@@ -178,6 +178,15 @@ class PipelineState:
     # ------------------------------------------------------------------
     # Disk format
     # ------------------------------------------------------------------
+    def config_hash(self) -> str:
+        """The config's :meth:`~repro.core.TPGrGADConfig.content_hash`.
+
+        One identity string shared by the pipeline stage cache, the
+        manifest and the serve registry: equal hashes imply equal manifest
+        config dicts (the hash is taken over exactly that dict).
+        """
+        return self.config.content_hash()
+
     def manifest(self) -> Dict:
         """The JSON manifest describing this artifact."""
         import scipy
@@ -189,6 +198,7 @@ class PipelineState:
                 # config_to_dict embeds derived_stage_seeds — the single
                 # source the loader restores reseed() semantics from.
                 "config": config_to_dict(self.config),
+                "config_hash": self.config_hash(),
                 "n_features": self.n_features,
                 "graph_fingerprint": self.graph_fingerprint,
                 "has_mhgae": self.mhgae_state is not None,
@@ -234,6 +244,15 @@ class PipelineState:
                 f"(this build reads {ARTIFACT_FORMAT_VERSION})"
             )
         config = config_from_dict(manifest["config"])  # restores derived_stage_seeds
+        recorded_hash = manifest.get("config_hash")
+        if recorded_hash is not None and recorded_hash != config.content_hash():
+            # A hand-edited manifest config no longer matches the identity
+            # the artifact was published under; serving it would lie about
+            # which model version produced the scores.
+            raise ValueError(
+                f"artifact at '{root}' has config_hash {recorded_hash!r} but its "
+                f"config dict hashes to {config.content_hash()!r} (manifest edited?)"
+            )
 
         mhgae_state: Optional[Dict[str, np.ndarray]] = None
         tpgcl_state: Optional[Dict[str, np.ndarray]] = None
@@ -282,7 +301,4 @@ def load_pipeline(path):
     """Load an artifact into a warm ``TPGrGAD`` (serves ``detect_only``)."""
     from repro.core.pipeline import TPGrGAD
 
-    state = PipelineState.load(path)
-    detector = TPGrGAD(state.config)
-    detector._warm_state = state
-    return detector
+    return TPGrGAD.from_state(PipelineState.load(path))

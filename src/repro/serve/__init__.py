@@ -1,0 +1,41 @@
+"""Online scoring service: micro-batching server + versioned model registry.
+
+The serving layer of the project (DESIGN.md, "Online scoring service"):
+:class:`ModelRegistry` loads :mod:`repro.persist` artifacts as versioned,
+hot-swappable models; :class:`MicroBatcher` coalesces concurrent
+``/score`` requests into deduplicated pipeline batches; and
+:class:`ScoringServer` is the stdlib-asyncio HTTP front end with
+admission control and JSON metrics.  ``python -m repro.serve --artifact
+PATH`` boots it from the command line; :class:`ScoringClient` is the
+matching blocking client.
+"""
+
+from repro.serve.batcher import (
+    DeadlineExceededError,
+    MicroBatcher,
+    RequestError,
+    ServeConfig,
+    ShedError,
+)
+from repro.serve.client import DeadlineError, LoadShedError, ScoringClient, ServeError
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.serve.server import ScoringServer, ServerHandle, start_server_thread
+
+__all__ = [
+    "DeadlineError",
+    "DeadlineExceededError",
+    "LoadShedError",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "RequestError",
+    "ScoringClient",
+    "ScoringServer",
+    "ServeConfig",
+    "ServeError",
+    "ServerHandle",
+    "ServerMetrics",
+    "ShedError",
+    "start_server_thread",
+]

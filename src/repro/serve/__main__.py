@@ -1,0 +1,95 @@
+"""Boot the scoring service: ``python -m repro.serve [options]``.
+
+Loads one or more pipeline artifacts into the versioned registry and
+serves ``/score``, ``/models``, ``/healthz`` and ``/metrics`` until
+interrupted.  Artifacts are given as ``--artifact PATH`` (model name
+defaults to the directory's basename; the first one becomes the default
+model) or ``--artifact NAME=PATH``.  More models can be loaded — or
+existing ones hot-swapped — at runtime via ``POST /models``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.serve.batcher import ServeConfig
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ScoringServer
+
+
+def _parse_artifact(spec: str) -> Tuple[str, str]:
+    """``NAME=PATH`` or bare ``PATH`` (name = directory basename)."""
+    name, sep, path = spec.partition("=")
+    if sep:
+        return name, path
+    return Path(spec).name or "default", spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve TP-GrGAD scoring over HTTP with micro-batching.",
+    )
+    parser.add_argument(
+        "--artifact", action="append", required=True, metavar="[NAME=]PATH",
+        help="pipeline artifact directory to load (repeatable; first is the default model)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000, help="0 binds an ephemeral port")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="micro-batch width; 1 disables coalescing")
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="max time the first request of a batch waits for company")
+    parser.add_argument("--queue-size", type=int, default=128,
+                        help="admission bound; excess requests are shed with 429")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="default per-request deadline budget (none if omitted)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard large distinct-graph batches over this many processes")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    registry = ModelRegistry()
+    for spec in args.artifact:
+        name, path = _parse_artifact(spec)
+        entry = registry.load(name, path)
+        print(f"loaded model '{entry.name}' v{entry.version} from {entry.path} "
+              f"(config {entry.config_hash[:12]}, fitted on {str(entry.state.graph_fingerprint)[:12]})")
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=args.queue_size,
+        default_timeout_ms=args.timeout_ms,
+        n_workers=args.workers,
+    )
+    server = ScoringServer(registry, config)
+    port = await server.start(args.host, args.port)
+    print(f"serving on http://{args.host}:{port}  "
+          f"(POST /score, GET /models, GET /healthz, GET /metrics; "
+          f"max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms})")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - signal-driven teardown
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        print("shutting down")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

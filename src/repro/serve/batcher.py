@@ -1,0 +1,320 @@
+"""The micro-batching scheduler of the scoring service.
+
+Concurrent ``/score`` requests are coalesced into micro-batches: the
+scheduler takes the first queued request, then waits at most
+``max_wait_ms`` for up to ``max_batch - 1`` more before scoring the whole
+batch in one executor-thread pass.  Within a batch, requests are grouped
+by ``(model, mode, threshold)`` and **deduplicated by graph
+fingerprint** — ten dashboards asking for the same snapshot cost one
+``detect_only``, the in-flight analogue of the pipeline's per-graph stage
+cache (``mode="fit_detect"`` batches additionally go through
+``fit_detect_many`` and therefore *do* hit that LRU cache across
+batches).  Batches with many distinct graphs can optionally be sharded
+across worker processes by broadcasting the model's artifact path through
+:class:`repro.parallel.ParallelExecutor`.
+
+Scoring a request through a batch returns **exactly** the result of
+calling ``detect_only`` / ``fit_detect`` directly on the same graph and
+artifact: grouping keys pin every input of the (deterministic) pipeline,
+so coalescing can change latency, never scores.  Pinned by
+``tests/test_serve.py`` and ``benchmarks/test_serve_throughput.py``.
+
+Admission control lives at the mouth of the queue: a bounded
+``asyncio.Queue`` sheds excess load with :class:`ShedError` (the HTTP
+layer turns it into ``429`` + ``Retry-After``), and each request carries
+an optional deadline — requests whose deadline expired while queued are
+answered with :class:`DeadlineExceededError` (``504``) instead of wasting
+scorer time on an answer nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph import Graph
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelEntry, ModelRegistry
+
+#: Request modes: warm inference on the loaded artifact weights (default)
+#: vs a cold, from-scratch fit with the artifact's config.
+MODES = ("detect_only", "fit_detect")
+
+
+class ShedError(Exception):
+    """Queue full — the request was load-shed at admission."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"scoring queue full; retry after {retry_after_s:.1f}s")
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(Exception):
+    """The request's deadline budget expired while it waited in the queue."""
+
+
+class RequestError(Exception):
+    """A per-request failure with an HTTP status (unknown model, bad graph)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServeConfig:
+    """All knobs of the scoring service in one place.
+
+    ``max_batch`` / ``max_wait_ms`` tune the micro-batcher: a batch is
+    dispatched as soon as it is full or the oldest member has waited
+    ``max_wait_ms``.  ``max_batch=1`` disables coalescing (the sequential
+    baseline of the throughput benchmark).  ``queue_size`` bounds
+    admission; ``default_timeout_ms`` is the per-request deadline budget
+    used when a request does not set its own (``None`` = no deadline).
+    ``n_workers > 1`` shards batches with at least
+    ``parallel_min_graphs`` *distinct* graphs across a process pool via
+    :class:`repro.parallel.ParallelExecutor` (worth it only when single
+    scores are expensive — each dispatch pays pool startup).
+    """
+
+    max_batch: int = 16
+    max_wait_ms: float = 5.0
+    queue_size: int = 128
+    default_timeout_ms: Optional[float] = None
+    retry_after_s: float = 1.0
+    n_workers: int = 1
+    parallel_min_graphs: int = 4
+    max_body_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+
+
+@dataclass
+class _Pending:
+    """One admitted ``/score`` request waiting for its batch."""
+
+    graph: Graph
+    model: Optional[str]
+    threshold: Optional[float]
+    mode: str
+    deadline: Optional[float]  # monotonic seconds; None = no budget
+    enqueued_at: float
+    future: "asyncio.Future"
+
+
+class MicroBatcher:
+    """Single-consumer scheduler: admit → coalesce → score → fan out."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.metrics = metrics or ServerMetrics()
+        self._queue: Optional["asyncio.Queue[_Pending]"] = None
+        self._task: Optional["asyncio.Task"] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (call from the event loop)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: Graph,
+        model: Optional[str] = None,
+        threshold: Optional[float] = None,
+        mode: str = "detect_only",
+        timeout_ms: Optional[float] = None,
+    ) -> "asyncio.Future":
+        """Admit one request; the returned future resolves to the response dict.
+
+        Raises :class:`ShedError` immediately when the queue is full, and
+        :class:`RequestError` for an invalid mode — both before the
+        request consumes any scheduler capacity.
+        """
+        if self._queue is None:
+            raise RuntimeError("MicroBatcher.start() has not run")
+        if mode not in MODES:
+            raise RequestError(400, f"unknown mode {mode!r}; expected one of {MODES}")
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        now = time.monotonic()
+        pending = _Pending(
+            graph=graph,
+            model=model,
+            threshold=None if threshold is None else float(threshold),
+            mode=mode,
+            deadline=None if timeout_ms is None else now + float(timeout_ms) / 1e3,
+            enqueued_at=now,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            raise ShedError(self.config.retry_after_s) from None
+        self.metrics.record_admitted()
+        return pending.future
+
+    # ------------------------------------------------------------------
+    # The scheduler loop
+    # ------------------------------------------------------------------
+    async def _collect_batch(self) -> List[_Pending]:
+        """Block for the first request, then coalesce up to the batch bounds."""
+        assert self._queue is not None
+        batch = [await self._queue.get()]
+        budget = self.config.max_wait_ms / 1e3
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                # Budget spent: still sweep whatever is already queued —
+                # leaving ready requests behind would only split batches.
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect_batch()
+            # Score in a worker thread so /healthz and admission stay
+            # responsive during a long batch; the loop itself remains the
+            # single consumer, so batches never overlap.
+            outcomes = await loop.run_in_executor(None, self._process, batch)
+            now = time.monotonic()
+            for pending, outcome in outcomes:
+                if pending.future.cancelled():
+                    continue
+                if isinstance(outcome, Exception):
+                    pending.future.set_exception(outcome)
+                else:
+                    self.metrics.record_scored(now - pending.enqueued_at)
+                    pending.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # Batch scoring (runs in an executor thread)
+    # ------------------------------------------------------------------
+    def _process(self, batch: List[_Pending]) -> List[Tuple[_Pending, object]]:
+        outcomes: List[Tuple[_Pending, object]] = []
+        now = time.monotonic()
+        groups: "OrderedDict[Tuple[Optional[str], str, Optional[float]], List[_Pending]]" = OrderedDict()
+        for pending in batch:
+            if pending.deadline is not None and now > pending.deadline:
+                outcomes.append((pending, DeadlineExceededError(
+                    f"deadline expired after {(now - pending.enqueued_at) * 1e3:.0f}ms in queue"
+                )))
+                continue
+            groups.setdefault((pending.model, pending.mode, pending.threshold), []).append(pending)
+
+        live = sum(len(members) for members in groups.values())
+        n_unique_total = 0
+        n_scored = 0
+        for (model, mode, threshold), members in groups.items():
+            try:
+                entry = self.registry.get(model)
+            except KeyError as error:
+                failure = RequestError(404, str(error))
+                outcomes.extend((pending, failure) for pending in members)
+                continue
+            try:
+                scored, n_unique = self._score_group(entry, mode, threshold, members, len(batch))
+            except ValueError as error:
+                # Graph incompatible with the model (feature dim, bad shape).
+                failure = RequestError(400, str(error))
+                outcomes.extend((pending, failure) for pending in members)
+            except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
+                failure = RequestError(500, f"scoring failed: {error}")
+                outcomes.extend((pending, failure) for pending in members)
+            else:
+                n_unique_total += n_unique
+                n_scored += len(members)
+                outcomes.extend(scored)
+        if live:
+            self.metrics.record_batch(live, n_unique_total, n_scored)
+        return outcomes
+
+    def _score_group(
+        self,
+        entry: ModelEntry,
+        mode: str,
+        threshold: Optional[float],
+        members: List[_Pending],
+        batch_size: int,
+    ) -> Tuple[List[Tuple[_Pending, Dict]], int]:
+        """Score one ``(model, mode, threshold)`` group, deduplicated."""
+        unique: "OrderedDict[str, Graph]" = OrderedDict()
+        keys: List[str] = []
+        for pending in members:
+            key = pending.graph.fingerprint()
+            keys.append(key)
+            unique.setdefault(key, pending.graph)
+        graphs = list(unique.values())
+
+        if mode == "fit_detect":
+            # Cold fits route through the entry's dedicated fit pipeline:
+            # fit_detect_many's per-(fingerprint, config-hash) LRU cache
+            # persists across micro-batches, so repeats skip training.
+            results = entry.fit_detector.fit_detect_many(graphs, threshold=threshold)
+        elif self.config.n_workers > 1 and len(graphs) >= self.config.parallel_min_graphs:
+            from repro.parallel import ParallelExecutor
+
+            executor = ParallelExecutor(
+                entry.state.config, n_workers=self.config.n_workers, artifact=entry.path
+            )
+            results = executor.fit_detect_many(graphs, threshold=threshold)
+        else:
+            results = [entry.detector.detect_only(graph, threshold=threshold) for graph in graphs]
+
+        by_key = {key: result.to_json_dict() for key, result in zip(unique, results)}
+        scored: List[Tuple[_Pending, Dict]] = []
+        for pending, key in zip(members, keys):
+            scored.append(
+                (
+                    pending,
+                    {
+                        "model": entry.name,
+                        "version": entry.version,
+                        "config_hash": entry.config_hash,
+                        "mode": mode,
+                        "graph_fingerprint": key,
+                        "batch": {"size": batch_size, "group_size": len(members), "n_unique": len(graphs)},
+                        "result": by_key[key],
+                    },
+                )
+            )
+        return scored, len(graphs)

@@ -1,0 +1,133 @@
+"""Blocking stdlib HTTP client for the scoring service.
+
+:class:`ScoringClient` wraps one keep-alive ``http.client`` connection —
+exactly what a closed-loop load-generator worker or a monitoring script
+needs.  It is **not** thread-safe (HTTP/1.1 pipelining is not attempted);
+give each thread its own client, as the throughput benchmark does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional, Tuple, Union
+
+from repro.graph import Graph
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the scoring service."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class LoadShedError(ServeError):
+    """429 — the server shed the request; honour ``retry_after_s``."""
+
+    def __init__(self, status: int, payload: Dict, retry_after_s: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineError(ServeError):
+    """504 — the request's deadline budget expired while queued."""
+
+
+class ScoringClient:
+    """Talk to a running :class:`~repro.serve.ScoringServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[Dict] = None) -> Tuple[int, Dict[str, str], Dict]:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                return response.status, dict(response.getheaders()), json.loads(raw) if raw else {}
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # A keep-alive connection the server already closed; retry
+                # once on a fresh one, then let the error surface.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _checked(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        status, headers, body = self._request(method, path, payload)
+        if status == 429:
+            retry_after = float(
+                headers.get("Retry-After", headers.get("retry-after", "1")) or 1
+            )
+            raise LoadShedError(status, body, retry_after)
+        if status == 504:
+            raise DeadlineError(status, body)
+        if status >= 400:
+            raise ServeError(status, body)
+        return body
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._checked("GET", "/metrics")
+
+    def models(self) -> Dict:
+        return self._checked("GET", "/models")
+
+    def load_model(self, name: str, path: str, default: bool = False) -> Dict:
+        """Load (or atomically hot-swap) a model from an artifact directory."""
+        return self._checked("POST", "/models", {"name": name, "path": str(path), "default": default})
+
+    def score(
+        self,
+        graph: Union[Graph, Dict],
+        model: Optional[str] = None,
+        threshold: Optional[float] = None,
+        mode: str = "detect_only",
+        timeout_ms: Optional[float] = None,
+    ) -> Dict:
+        """Score one graph; returns the full response payload.
+
+        ``payload["result"]`` is bit-identical to
+        ``detector.detect_only(graph).to_json_dict()`` (or ``fit_detect``
+        for ``mode="fit_detect"``) on the served artifact — micro-batching
+        on the server changes latency, never scores.
+        """
+        body: Dict = {"graph": graph.to_json_dict() if isinstance(graph, Graph) else graph}
+        if model is not None:
+            body["model"] = model
+        if threshold is not None:
+            body["threshold"] = float(threshold)
+        if mode != "detect_only":
+            body["mode"] = mode
+        if timeout_ms is not None:
+            body["timeout_ms"] = float(timeout_ms)
+        return self._checked("POST", "/score", body)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ScoringClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

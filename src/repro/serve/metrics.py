@@ -1,0 +1,130 @@
+"""Operational counters of the scoring service.
+
+One :class:`ServerMetrics` instance is shared by the HTTP layer and the
+micro-batcher; everything it exposes comes out of ``GET /metrics`` as one
+JSON document (coerced through :func:`repro.persist.to_native`), so a
+scrape never needs to reach into the batcher or the registry.
+
+All updates take a lock: handlers run on the event loop, but batch
+scoring runs in an executor thread and the latency deque / histogram
+must not tear.  The latency window is bounded (a deque), so a long-lived
+server reports recent percentiles rather than its lifetime average and
+the memory footprint stays constant — the unbounded-growth footgun the
+pipeline's own cache counters had is deliberately not reproduced here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+
+class ServerMetrics:
+    """Counters, batch-size histogram and a bounded latency window."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be positive")
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self.requests_total = 0  # /score requests admitted to the queue
+        self.responses_by_status: Dict[int, int] = {}
+        self.scored_total = 0  # 200-responses that carried scores
+        self.shed_total = 0  # 429: queue full, request load-shed
+        self.deadline_expired_total = 0  # 504: deadline passed while queued
+        self.error_total = 0  # 4xx/5xx other than shed/deadline
+        self.batches_total = 0
+        self.batched_requests_total = 0
+        self.dedup_hits_total = 0  # requests answered by an in-batch duplicate
+        self.batch_size_histogram: Dict[int, int] = {}
+        # (completed_at_monotonic, seconds) pairs; bounded.
+        self._latencies: Deque[Tuple[float, float]] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_admitted(self) -> None:
+        with self._lock:
+            self.requests_total += 1
+
+    def record_response(self, status: int) -> None:
+        with self._lock:
+            self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+            if status == 429:
+                self.shed_total += 1
+            elif status == 504:
+                self.deadline_expired_total += 1
+            elif status >= 400:
+                self.error_total += 1
+
+    def record_scored(self, latency_seconds: float) -> None:
+        """One successfully scored request, with its queue+score latency."""
+        with self._lock:
+            self.scored_total += 1
+            self._latencies.append((time.monotonic(), float(latency_seconds)))
+
+    def record_batch(self, n_requests: int, n_unique: int, n_scored: int) -> None:
+        """One micro-batch handed to the scorer (post deadline-filtering).
+
+        Dedup hits count only *successfully scored* requests in excess of
+        the unique graphs scored — requests that failed (unknown model,
+        incompatible graph) were not deduplicated into anything.
+        """
+        with self._lock:
+            self.batches_total += 1
+            self.batched_requests_total += n_requests
+            self.dedup_hits_total += max(0, n_scored - n_unique)
+            self.batch_size_histogram[n_requests] = (
+                self.batch_size_histogram.get(n_requests, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def _latency_percentiles(self) -> Dict[str, float]:
+        values = [seconds for _, seconds in self._latencies]
+        if not values:
+            return {"p50_latency_ms": 0.0, "p95_latency_ms": 0.0}
+        return {
+            "p50_latency_ms": round(float(np.percentile(values, 50)) * 1e3, 3),
+            "p95_latency_ms": round(float(np.percentile(values, 95)) * 1e3, 3),
+        }
+
+    def _qps(self, now: float) -> Dict[str, float]:
+        uptime = max(now - self._started_monotonic, 1e-9)
+        lifetime = self.scored_total / uptime
+        window = 0.0
+        if len(self._latencies) >= 2:
+            oldest = self._latencies[0][0]
+            span = max(now - oldest, 1e-9)
+            window = len(self._latencies) / span
+        return {"qps_lifetime": round(lifetime, 3), "qps_window": round(window, 3)}
+
+    def snapshot(self) -> Dict:
+        """The ``/metrics`` JSON body (without the per-model section)."""
+        with self._lock:
+            now = time.monotonic()
+            mean_batch = (
+                self.batched_requests_total / self.batches_total if self.batches_total else 0.0
+            )
+            payload = {
+                "uptime_seconds": round(now - self._started_monotonic, 3),
+                "requests_total": self.requests_total,
+                "responses_by_status": dict(self.responses_by_status),
+                "scored_total": self.scored_total,
+                "shed_total": self.shed_total,
+                "deadline_expired_total": self.deadline_expired_total,
+                "error_total": self.error_total,
+                "batches_total": self.batches_total,
+                "batched_requests_total": self.batched_requests_total,
+                "dedup_hits_total": self.dedup_hits_total,
+                "mean_batch_size": round(mean_batch, 3),
+                "batch_size_histogram": dict(sorted(self.batch_size_histogram.items())),
+            }
+            payload.update(self._qps(now))
+            payload.update(self._latency_percentiles())
+        return payload

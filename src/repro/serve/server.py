@@ -1,0 +1,381 @@
+"""Stdlib-only asyncio HTTP front end of the scoring service.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+(keep-alive, ``Content-Length`` bodies, JSON in/out) — no third-party web
+framework, matching the project's numpy/scipy-only dependency policy.
+
+Endpoints
+---------
+``POST /score``
+    Body: ``{"graph": <Graph.to_json_dict()>, "model": name?,
+    "threshold": float?, "mode": "detect_only"|"fit_detect"?,
+    "timeout_ms": float?}``.  The request rides a micro-batch (see
+    :mod:`repro.serve.batcher`); the response carries the result JSON
+    plus model attribution and batch/latency metadata.  ``429`` +
+    ``Retry-After`` under load shedding, ``504`` on an expired deadline,
+    ``404`` for unknown models, ``400`` for malformed payloads.
+``GET /models`` / ``POST /models``
+    List loaded models, or load/hot-swap one from an artifact directory
+    (body ``{"name": ..., "path": ..., "default": bool?}``).
+``GET /healthz``
+    Liveness + the loaded model names (cheap: never touches the scorer).
+``GET /metrics``
+    JSON counters: qps, batch-size histogram, latency percentiles, shed
+    count, plus each model's pipeline cache statistics.
+
+Every response body is JSON serialised through
+:func:`repro.persist.to_native`, so numpy scalars from any layer can
+never corrupt the wire format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.graph import Graph
+from repro.persist import to_native
+from repro.serve.batcher import (
+    DeadlineExceededError,
+    MicroBatcher,
+    RequestError,
+    ServeConfig,
+    ShedError,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelRegistry
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class ScoringServer:
+    """The long-running detector: registry + micro-batcher + HTTP front end."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.metrics = metrics or ServerMetrics()
+        self.batcher = MicroBatcher(registry, self.config, self.metrics)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the listener and start the batcher; returns the bound port.
+
+        The listener binds *before* the batcher task starts, so a bind
+        failure (port in use) leaves nothing running to clean up.
+        """
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        await self.batcher.start()
+        self.host = host
+        self.port = int(self._server.sockets[0].getsockname()[1])
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections block on readline forever; cancel
+        # them so shutdown never hangs on a client that forgot to close.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        await self.batcher.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as error:
+                    # Unparseable request: answer once, then drop the
+                    # connection (framing is no longer trustworthy).
+                    self.metrics.record_response(error.status)
+                    writer.write(self._encode_response(error.status, {"error": str(error)}, error.headers))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                try:
+                    status, payload, extra = await self._dispatch(method, path, body)
+                except _HttpError as error:
+                    status, payload, extra = error.status, {"error": str(error)}, error.headers
+                except Exception as error:  # noqa: BLE001 - last-resort 500
+                    status, payload, extra = 500, {"error": f"internal error: {error}"}, {}
+                if path == "/score" and status == 200:
+                    payload["latency_ms"] = round((loop.time() - started) * 1e3, 3)
+                self.metrics.record_response(status)
+                writer.write(self._encode_response(status, payload, extra))
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:  # server shutdown
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _HttpError(400, f"malformed Content-Length {headers['content-length']!r}") from None
+        if length < 0:
+            raise _HttpError(400, f"malformed Content-Length {length}")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(413, f"body of {length} bytes exceeds the {self.config.max_body_bytes} limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], headers, body
+
+    @staticmethod
+    def _encode_response(status: int, payload: Dict, extra_headers: Dict[str, str]) -> bytes:
+        body = json.dumps(to_native(payload)).encode()
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict:
+        if not body:
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict, Dict[str, str]]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "models": self.registry.names()}, {}
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics_payload(), {}
+        if path == "/models":
+            if method == "GET":
+                return 200, self.registry.describe(), {}
+            if method == "POST":
+                return 200, await self._load_model(self._parse_json(body)), {}
+            raise _HttpError(405, f"{method} not allowed on /models")
+        if path == "/score":
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on /score")
+            return 200, await self._score(self._parse_json(body)), {}
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _metrics_payload(self) -> Dict:
+        payload = self.metrics.snapshot()
+        payload["models"] = {
+            row["name"]: {"version": row["version"], "fit_cache": row["fit_cache"]}
+            for row in self.registry.describe()["models"]
+        }
+        payload["queue"] = {
+            "capacity": self.config.queue_size,
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+        }
+        return payload
+
+    async def _load_model(self, payload: Dict) -> Dict:
+        name, path = payload.get("name"), payload.get("path")
+        if not name or not path:
+            raise _HttpError(400, "POST /models requires 'name' and 'path'")
+        try:
+            # Reading arrays.npz for a large model can take a while; keep
+            # the event loop (health probes, admission) responsive by
+            # loading in a worker thread — the registry locks internally
+            # and swaps atomically, so concurrent loads are safe.
+            entry = await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: self.registry.load(name, path, default=bool(payload.get("default", False))),
+            )
+        except FileNotFoundError as error:
+            raise _HttpError(404, str(error)) from None
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from None
+        return entry.describe()
+
+    async def _score(self, payload: Dict) -> Dict:
+        graph_payload = payload.get("graph")
+        if not isinstance(graph_payload, dict):
+            raise _HttpError(400, "POST /score requires a 'graph' object (Graph.to_json_dict())")
+        try:
+            graph = Graph.from_json_dict(graph_payload)
+        except (ValueError, TypeError) as error:
+            raise _HttpError(400, f"invalid graph payload: {error}") from None
+        try:
+            threshold = payload.get("threshold")
+            threshold = None if threshold is None else float(threshold)
+            timeout_ms = payload.get("timeout_ms")
+            timeout_ms = None if timeout_ms is None else float(timeout_ms)
+        except (TypeError, ValueError):
+            raise _HttpError(400, "'threshold' and 'timeout_ms' must be numbers") from None
+        try:
+            future = self.batcher.submit(
+                graph,
+                model=payload.get("model"),
+                threshold=threshold,
+                mode=payload.get("mode", "detect_only"),
+                timeout_ms=timeout_ms,
+            )
+            return await future
+        except ShedError as error:
+            raise _HttpError(
+                429, str(error), headers={"Retry-After": f"{error.retry_after_s:.0f}"}
+            ) from None
+        except DeadlineExceededError as error:
+            raise _HttpError(504, str(error)) from None
+        except RequestError as error:
+            raise _HttpError(error.status, str(error)) from None
+
+
+# ----------------------------------------------------------------------
+# Threaded harness (tests, benchmarks, the example client)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A running :class:`ScoringServer` on a background event-loop thread."""
+
+    def __init__(self, server: ScoringServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host or "127.0.0.1"
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the server and join the loop thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    registry: ModelRegistry,
+    config: Optional[ServeConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServerHandle:
+    """Run a :class:`ScoringServer` on a daemon thread; returns its handle.
+
+    ``port=0`` binds an ephemeral port (read it from ``handle.port``).
+    The in-process equivalent of ``python -m repro.serve`` used by the
+    test suite, the throughput benchmark and ``examples/serving_client.py``.
+    """
+    started = threading.Event()
+    box: Dict[str, object] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = ScoringServer(registry, config)
+        try:
+            loop.run_until_complete(server.start(host, port))
+        except Exception as error:  # noqa: BLE001 - re-raised in the caller
+            box["error"] = error
+            loop.run_until_complete(server.stop())  # tear down anything half-started
+            started.set()
+            loop.close()
+            return
+        box["server"], box["loop"] = server, loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):  # pragma: no cover - startup hang
+        raise RuntimeError("scoring server failed to start within 30s")
+    if "error" in box:
+        raise RuntimeError(f"scoring server failed to start: {box['error']}") from box["error"]
+    return ServerHandle(box["server"], box["loop"], thread)  # type: ignore[arg-type]

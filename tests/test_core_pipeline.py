@@ -173,8 +173,28 @@ class TestBatchedPipeline:
         detector.fit_detect(example_graph)
         assert detector.cache_hits == 1
         detector.clear_cache()
+        # clear_cache resets the counters along with the cache, so the
+        # info read-out can never drift out of sync with an emptied LRU.
+        assert detector.cache_info() == {
+            "hits": 0, "misses": 0, "evictions": 0, "currsize": 0,
+            "maxsize": detector.config.cache_size,
+        }
         detector.fit_detect(example_graph)
-        assert detector.cache_misses == 2
+        assert detector.cache_misses == 1
+
+    def test_cache_info_counts_evictions(self, example_graph):
+        from repro.datasets import make_example_graph
+
+        config = TPGrGADConfig.fast(seed=1)
+        config.cache_size = 1
+        detector = TPGrGAD(config)
+        detector.fit_detect(example_graph)
+        detector.fit_detect(make_example_graph(seed=11))  # evicts the first entry
+        info = detector.cache_info()
+        assert info["evictions"] == 1
+        assert info["currsize"] == 1
+        assert info["maxsize"] == 1
+        assert info["misses"] == 2
 
     def test_cache_keyed_by_config(self, example_graph):
         fast = TPGrGAD(TPGrGADConfig.fast(seed=1))

@@ -352,3 +352,28 @@ class TestFingerprint:
     def test_ignores_ground_truth_groups(self, tiny_graph):
         annotated = tiny_graph.with_groups([Group.from_nodes([0, 1, 2])])
         assert annotated.fingerprint() == tiny_graph.fingerprint()
+
+
+class TestJsonWireFormat:
+    def test_roundtrip_preserves_fingerprint(self, tiny_graph):
+        import json
+
+        payload = json.loads(json.dumps(tiny_graph.to_json_dict()))
+        clone = Graph.from_json_dict(payload)
+        assert clone.fingerprint() == tiny_graph.fingerprint()
+        assert clone.name == tiny_graph.name
+        assert clone.n_edges == tiny_graph.n_edges
+
+    def test_groups_are_not_shipped(self, labelled_graph):
+        payload = labelled_graph.to_json_dict()
+        assert "groups" not in payload
+        assert Graph.from_json_dict(payload).n_groups == 0
+
+    def test_minimal_hand_written_payload(self):
+        graph = Graph.from_json_dict({"n_nodes": 3, "edges": [[0, 1], [1, 2]]})
+        assert graph.n_nodes == 3 and graph.n_edges == 2
+        assert graph.features.shape == (3, 1)  # default all-zeros attribute
+
+    def test_missing_n_nodes_rejected(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            Graph.from_json_dict({"edges": [[0, 1]]})

@@ -193,6 +193,23 @@ class TestArtifactBroadcast:
         for result in warm:
             assert np.isfinite(result.scores).all()
 
+    def test_artifact_mode_collapses_duplicate_graphs(self, tmp_path, graphs):
+        detector = TPGrGAD(_tiny_config())
+        detector.fit_detect(graphs[0])
+        artifact = tmp_path / "artifact"
+        detector.save(artifact)
+
+        executor = ParallelExecutor(n_workers=1, artifact=str(artifact))
+        results = executor.fit_detect_many([graphs[0], graphs[1], graphs[0], graphs[1]])
+        # Warm detect_only is deterministic per graph, so duplicates are
+        # scored once and fanned out (counted like stage-cache hits) —
+        # what the scoring service's sharded micro-batches rely on.
+        assert executor.cache_hits == 2
+        assert results[0].to_json_dict() == results[2].to_json_dict()
+        assert results[1].to_json_dict() == results[3].to_json_dict()
+        direct = TPGrGAD.load(str(artifact)).detect_only(graphs[1])
+        assert np.abs(results[1].scores - direct.scores).max() <= 1e-8
+
 
 class TestExperimentSharding:
     def test_registry_shards_and_preserves_order(self):

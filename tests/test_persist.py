@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -298,6 +299,58 @@ class TestManifest:
             json.dump(manifest, handle)
         with pytest.raises(ValueError, match="format_version"):
             PipelineState.load(path)
+
+    def test_tampered_manifest_config_rejected_by_hash(self, saved):
+        _, path, _ = saved
+        with open(path / "manifest.json") as handle:
+            manifest = json.load(handle)
+        manifest["config"]["contamination"] = 0.42  # hand edit, hash untouched
+        with open(path / "manifest.json", "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError, match="config_hash"):
+            PipelineState.load(path)
+
+
+class TestContentHash:
+    """One config identity for the stage cache, the manifest and the registry."""
+
+    def test_hash_equality_implies_manifest_config_equality(self):
+        first, second = _tiny_config(seed=9), _tiny_config(seed=9)
+        assert first is not second
+        assert first.content_hash() == second.content_hash()
+        # The hash is taken over exactly the manifest's config dict, so
+        # equal hashes mean byte-equal manifests (and vice versa).
+        assert config_to_dict(first) == config_to_dict(second)
+
+    def test_any_stage_knob_changes_the_hash(self):
+        base = _tiny_config(seed=9)
+        for other in (
+            _tiny_config(seed=10),  # master seed (and derived stage seeds)
+            TPGrGADConfig(contamination=0.3),
+            TPGrGADConfig(detector="iforest"),
+        ):
+            assert base.content_hash() != other.content_hash()
+
+    def test_hash_survives_artifact_roundtrip(self, tmp_path, example_graph):
+        detector = TPGrGAD(_tiny_config())
+        detector.fit_detect(example_graph)
+        path = detector.save(tmp_path / "artifact")
+        with open(Path(path) / "manifest.json") as handle:
+            manifest = json.load(handle)
+        loaded = TPGrGAD.load(path)
+        assert (
+            manifest["config_hash"]
+            == loaded.config.content_hash()
+            == detector.config.content_hash()
+        )
+
+    def test_stage_cache_is_keyed_by_content_hash(self, example_graph):
+        # Two detector instances with *equal* (not identical) configs must
+        # produce the same cache key — repr-keyed caching did that too,
+        # but only content_hash also matches the manifest identity.
+        first = TPGrGAD(_tiny_config(seed=9))
+        second = TPGrGAD(_tiny_config(seed=9))
+        assert first._cache_key(example_graph) == second._cache_key(example_graph)
 
 
 class TestStreamWarmStart:
