@@ -20,9 +20,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph import Graph, normalized_adjacency
-from repro.nn import Adam, GCNConv, MLP, Module
+from repro.nn import Adam, EarlyStopping, GCNConv, MLP, Module
 from repro.seeding import resolve_seed
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, default_dtype, no_grad
+from repro.tensor.functional import gae_reconstruction_loss
 
 Propagation = Union[np.ndarray, sp.spmatrix]
 
@@ -43,6 +44,15 @@ class GAEConfig:
     message passing runs as sparse-dense products and never materialises a
     dense ``n × n`` matrix (the reconstruction *target* stays dense — the
     sigmoid inner-product decoder is inherently dense).
+
+    ``dtype`` selects the training precision: ``"float64"`` (default) is
+    the bit-reproducible reference path; ``"float32"`` is the fast mode —
+    all derived matrices are still *built* in float64 and cast once, so the
+    float32 run starts from the rounded image of the reference state.
+    ``patience``/``min_delta`` enable convergence-based early stopping:
+    with ``patience > 0`` training stops once the loss has failed to
+    improve by more than ``min_delta`` for ``patience`` consecutive epochs
+    (``patience = 0``, the default, always runs the full ``epochs``).
     """
 
     hidden_dim: int = 64
@@ -54,6 +64,9 @@ class GAEConfig:
     feature_scaling: str = "minmax"
     normalize_errors: bool = True
     sparse_propagation: bool = True
+    dtype: str = "float64"
+    patience: int = 0
+    min_delta: float = 0.0
     # None means "unset": standalone use resolves to 0, while a parent
     # TPGrGADConfig fills it with a stream derived from its master seed.
     seed: Optional[int] = None
@@ -64,10 +77,15 @@ class GAETrainingResult:
     """Losses recorded while fitting a GAE."""
 
     losses: List[float] = field(default_factory=list)
+    early_stopped: bool = False
 
     @property
     def final_loss(self) -> Optional[float]:
         return self.losses[-1] if self.losses else None
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.losses)
 
 
 class _GAEModel(Module):
@@ -139,34 +157,65 @@ class GraphAutoEncoder:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, graph: Graph) -> "GraphAutoEncoder":
-        """Train encoder and decoders on ``graph`` (unsupervised)."""
-        config = self.config
-        rng = np.random.default_rng(resolve_seed(config.seed))
+    @property
+    def dtype(self) -> np.dtype:
+        """Training dtype resolved from the config."""
+        return np.dtype(self.config.dtype)
+
+    def _bind_graph(self, graph: Graph) -> None:
+        """Build the per-graph derived state, cast once to the config dtype.
+
+        Targets, propagation matrices and scaled features are always
+        *constructed* in float64 (identical to the reference path) and only
+        rounded at the end, so fast mode sees the rounded image of exactly
+        the state the float64 run trains on.
+        """
+        dtype = self.dtype
         self._graph = graph
         self._structure_target = self._build_structure_target(graph)
         self._propagation = self._build_propagation(graph)
         self._scaled_features = self._scale_features(graph.features)
-        self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
+        if dtype != np.float64:
+            self._structure_target = np.asarray(self._structure_target, dtype=dtype)
+            self._scaled_features = np.asarray(self._scaled_features, dtype=dtype)
+            if sp.issparse(self._propagation):
+                self._propagation = self._propagation.astype(dtype)
+            else:
+                self._propagation = np.asarray(self._propagation, dtype=dtype)
 
-        features = Tensor(self._scaled_features)
-        structure_target = Tensor(self._structure_target)
-        optimizer = Adam(self._model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay)
+    def fit(self, graph: Graph) -> "GraphAutoEncoder":
+        """Train encoder and decoders on ``graph`` (unsupervised)."""
+        config = self.config
+        rng = np.random.default_rng(resolve_seed(config.seed))
+        self._bind_graph(graph)
         lam = config.structure_weight
-
         self.training_result = GAETrainingResult()
-        for _ in range(config.epochs):
-            optimizer.zero_grad()
-            z = self._model.encode(features, self._propagation)
-            structure_hat = self._model.decode_structure(z)
-            attribute_hat = self._model.decode_attributes(z)
+        stopper = EarlyStopping(config.patience, config.min_delta)
+        workspace: dict = {}
 
-            structure_loss = ((structure_hat - structure_target) ** 2).mean()
-            attribute_loss = ((attribute_hat - features) ** 2).mean()
-            loss = structure_loss * lam + attribute_loss * (1.0 - lam)
-            loss.backward()
-            optimizer.step()
-            self.training_result.losses.append(loss.item())
+        with default_dtype(self.dtype):
+            self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
+            features = Tensor(self._scaled_features)
+            optimizer = Adam(
+                self._model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+            )
+            for _ in range(config.epochs):
+                optimizer.zero_grad()
+                z = self._model.encode(features, self._propagation)
+                structure_hat = self._model.decode_structure(z)
+                attribute_hat = self._model.decode_attributes(z)
+
+                loss = gae_reconstruction_loss(
+                    structure_hat, self._structure_target, attribute_hat, self._scaled_features, lam,
+                    workspace=workspace,
+                )
+                loss.backward()
+                optimizer.step()
+                value = loss.item()
+                self.training_result.losses.append(value)
+                if stopper.should_stop(value):
+                    self.training_result.early_stopped = True
+                    break
         return self
 
     # ------------------------------------------------------------------
@@ -191,12 +240,10 @@ class GraphAutoEncoder:
                     "attach() needs trained weights: fit() first or pass state="
                 )
             state = self._model.state_dict()
-        self._graph = graph
-        self._structure_target = self._build_structure_target(graph)
-        self._propagation = self._build_propagation(graph)
-        self._scaled_features = self._scale_features(graph.features)
+        self._bind_graph(graph)
         rng = np.random.default_rng(resolve_seed(config.seed))
-        self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
+        with default_dtype(self.dtype):
+            self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
         if state is not None:
             self._model.load_state_dict(state)
         return self

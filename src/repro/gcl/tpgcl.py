@@ -23,9 +23,9 @@ from repro.augment import Augmentation, PatternBreakingAugmentation, PatternPres
 from repro.gcl.encoder import GroupEncoder
 from repro.gcl.mine import MINEStatisticsNetwork, mine_mutual_information
 from repro.graph import Graph, Group
-from repro.nn import Adam
+from repro.nn import Adam, EarlyStopping
 from repro.seeding import resolve_seed
-from repro.tensor import no_grad
+from repro.tensor import default_dtype, no_grad
 
 
 @dataclass
@@ -35,6 +35,15 @@ class TPGCLConfig:
     The defaults follow Sec. VII-A4: a 2-layer GCN encoder with 64-d output
     embeddings; Adam; views regenerated every ``view_refresh_every`` epochs
     so the stochastic parts of PPA/PBA (cycle node choices) are resampled.
+
+    Fast-training-engine knobs: ``dtype`` selects the training precision
+    (``"float64"`` is the bit-reproducible reference, ``"float32"`` the
+    fast mode); ``batch_views`` packs each view batch into one
+    block-diagonal sparse graph so encoding runs as a single SpMM forward
+    instead of a per-subgraph Python loop (mathematically identical,
+    differs only by BLAS summation order — hence opt-in);
+    ``patience``/``min_delta`` stop training early once the epoch loss
+    plateaus (``patience = 0`` disables).
     """
 
     hidden_dim: int = 64
@@ -46,6 +55,10 @@ class TPGCLConfig:
     view_refresh_every: int = 10
     positive_augmentation: str = "PPA"
     negative_augmentation: str = "PBA"
+    dtype: str = "float64"
+    batch_views: bool = False
+    patience: int = 0
+    min_delta: float = 0.0
     # None means "unset": standalone use resolves to 0, while a parent
     # TPGrGADConfig fills it with a stream derived from its master seed.
     seed: Optional[int] = None
@@ -56,10 +69,15 @@ class TPGCLTrainingResult:
     """Per-epoch loss (the minimised MI estimate) recorded during training."""
 
     losses: List[float] = field(default_factory=list)
+    early_stopped: bool = False
 
     @property
     def final_loss(self) -> Optional[float]:
         return self.losses[-1] if self.losses else None
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.losses)
 
 
 class TPGCL:
@@ -126,44 +144,54 @@ class TPGCL:
         config = self.config
 
         parameter_rng = np.random.default_rng(resolve_seed(config.seed))
-        self.encoder = GroupEncoder(
-            graph.n_features, config.hidden_dim, config.embedding_dim, rng=parameter_rng
-        )
-        self.statistics_network = MINEStatisticsNetwork(
-            config.embedding_dim, config.hidden_dim, rng=parameter_rng
-        )
-        optimizer = Adam(
-            self.encoder.parameters() + self.statistics_network.parameters(),
-            lr=config.learning_rate,
-            weight_decay=config.weight_decay,
-        )
+        with default_dtype(np.dtype(config.dtype)):
+            self.encoder = GroupEncoder(
+                graph.n_features, config.hidden_dim, config.embedding_dim, rng=parameter_rng
+            )
+            self.statistics_network = MINEStatisticsNetwork(
+                config.embedding_dim, config.hidden_dim, rng=parameter_rng
+            )
+            optimizer = Adam(
+                self.encoder.parameters() + self.statistics_network.parameters(),
+                lr=config.learning_rate,
+                weight_decay=config.weight_decay,
+            )
 
-        subgraphs = self._group_subgraphs(graph, groups)
-        positive_views, negative_views = self._generate_views(subgraphs)
+            subgraphs = self._group_subgraphs(graph, groups)
+            positive_views, negative_views = self._generate_views(subgraphs)
 
-        self.training_result = TPGCLTrainingResult()
-        indices = np.arange(len(groups))
-        for epoch in range(config.epochs):
-            if epoch > 0 and config.view_refresh_every > 0 and epoch % config.view_refresh_every == 0:
-                positive_views, negative_views = self._generate_views(subgraphs)
+            self.training_result = TPGCLTrainingResult()
+            stopper = EarlyStopping(config.patience, config.min_delta)
+            indices = np.arange(len(groups))
+            for epoch in range(config.epochs):
+                if epoch > 0 and config.view_refresh_every > 0 and epoch % config.view_refresh_every == 0:
+                    positive_views, negative_views = self._generate_views(subgraphs)
 
-            self._rng.shuffle(indices)
-            batch_size = min(config.batch_size, len(groups))
-            epoch_losses = []
-            for start in range(0, len(indices), batch_size):
-                batch = indices[start : start + batch_size]
-                if len(batch) < 2:
-                    continue
-                optimizer.zero_grad()
-                positive_batch = self.encoder.encode_batch([positive_views[i] for i in batch])
-                negative_batch = self.encoder.encode_batch([negative_views[i] for i in batch])
-                # Eqn. (8): minimise the estimated MI between view embeddings.
-                loss = mine_mutual_information(self.statistics_network, positive_batch, negative_batch)
-                loss.backward()
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            if epoch_losses:
-                self.training_result.losses.append(float(np.mean(epoch_losses)))
+                self._rng.shuffle(indices)
+                batch_size = min(config.batch_size, len(groups))
+                epoch_losses = []
+                for start in range(0, len(indices), batch_size):
+                    batch = indices[start : start + batch_size]
+                    if len(batch) < 2:
+                        continue
+                    optimizer.zero_grad()
+                    positive_batch = self.encoder.encode_batch(
+                        [positive_views[i] for i in batch], batched=config.batch_views
+                    )
+                    negative_batch = self.encoder.encode_batch(
+                        [negative_views[i] for i in batch], batched=config.batch_views
+                    )
+                    # Eqn. (8): minimise the estimated MI between view embeddings.
+                    loss = mine_mutual_information(self.statistics_network, positive_batch, negative_batch)
+                    loss.backward()
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                if epoch_losses:
+                    epoch_loss = float(np.mean(epoch_losses))
+                    self.training_result.losses.append(epoch_loss)
+                    if stopper.should_stop(epoch_loss):
+                        self.training_result.early_stopped = True
+                        break
         return self
 
     # ------------------------------------------------------------------
@@ -193,22 +221,23 @@ class TPGCL:
         """
         config = self.config
         rng = np.random.default_rng(resolve_seed(config.seed))
-        self.encoder = GroupEncoder(
-            n_features, config.hidden_dim, config.embedding_dim, rng=rng
-        )
-        self.encoder.load_state_dict(
-            {k[len("encoder."):]: v for k, v in state.items() if k.startswith("encoder.")}
-        )
-        stats_state = {
-            k[len("statistics_network."):]: v
-            for k, v in state.items()
-            if k.startswith("statistics_network.")
-        }
-        if stats_state:
-            self.statistics_network = MINEStatisticsNetwork(
-                config.embedding_dim, config.hidden_dim, rng=rng
+        with default_dtype(np.dtype(config.dtype)):
+            self.encoder = GroupEncoder(
+                n_features, config.hidden_dim, config.embedding_dim, rng=rng
             )
-            self.statistics_network.load_state_dict(stats_state)
+            self.encoder.load_state_dict(
+                {k[len("encoder."):]: v for k, v in state.items() if k.startswith("encoder.")}
+            )
+            stats_state = {
+                k[len("statistics_network."):]: v
+                for k, v in state.items()
+                if k.startswith("statistics_network.")
+            }
+            if stats_state:
+                self.statistics_network = MINEStatisticsNetwork(
+                    config.embedding_dim, config.hidden_dim, rng=rng
+                )
+                self.statistics_network.load_state_dict(stats_state)
         return self
 
     # ------------------------------------------------------------------
@@ -220,4 +249,4 @@ class TPGCL:
             raise RuntimeError("call fit() before embedding groups")
         subgraphs = self._group_subgraphs(graph, list(groups))
         with no_grad():
-            return self.encoder.encode_batch(subgraphs).numpy()
+            return self.encoder.encode_batch(subgraphs, batched=self.config.batch_views).numpy()

@@ -152,7 +152,7 @@ class GCNConv(Module):
         support = self.linear(x)
         if sp.issparse(propagation):
             return self._activation(spmm(propagation, support))
-        propagated = Tensor(np.asarray(propagation, dtype=np.float64)) @ support
+        propagated = Tensor(np.asarray(propagation, dtype=support.data.dtype)) @ support
         return self._activation(propagated)
 
 
@@ -184,8 +184,8 @@ class GraphSNNConv(Module):
         if sp.issparse(weighted_adjacency):
             mixing = (sp.identity(weighted_adjacency.shape[0], format="csr") + weighted_adjacency).tocsr()
             return self._activation(spmm(mixing, support))
-        weighted = np.asarray(weighted_adjacency, dtype=np.float64)
-        mixing = np.eye(weighted.shape[0]) + weighted
+        weighted = np.asarray(weighted_adjacency, dtype=support.data.dtype)
+        mixing = np.eye(weighted.shape[0], dtype=weighted.dtype) + weighted
         return self._activation(Tensor(mixing) @ support)
 
 

@@ -104,7 +104,7 @@ class Module:
         for name, values in state.items():
             if own[name].data.shape != values.shape:
                 raise ValueError(f"shape mismatch for '{name}': {own[name].data.shape} vs {values.shape}")
-            own[name].data = np.asarray(values, dtype=np.float64).copy()
+            own[name].data = np.asarray(values, dtype=own[name].data.dtype).copy()
 
     # ------------------------------------------------------------------
     # Call protocol

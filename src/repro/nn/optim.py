@@ -1,4 +1,14 @@
-"""Gradient-descent optimizers (SGD with momentum, Adam)."""
+"""Gradient-descent optimizers (SGD with momentum, Adam).
+
+Both optimizers update fully in place: each step writes into preallocated
+scratch buffers (two per parameter for Adam, one for SGD) instead of
+allocating fresh temporaries for the weight-decay term, ``m_hat``/``v_hat``
+and the update itself.  Every in-place expression applies the same scalar
+operations in an order that is bitwise-equivalent to the original
+allocating formulation (only commutative reorderings such as ``g·c`` for
+``c·g``), so parameter trajectories are unchanged to the last bit — see
+``tests/test_train_engine.py`` for the regression oracle.
+"""
 
 from __future__ import annotations
 
@@ -18,12 +28,42 @@ class Optimizer:
             raise ValueError("optimizer received an empty parameter list")
 
     def zero_grad(self) -> None:
-        """Reset gradients of every managed parameter."""
+        """Drop gradient buffers of every managed parameter.
+
+        ``Tensor.zero_grad`` sets ``grad = None`` rather than zero-filling,
+        so the next backward pass allocates (or reuses, via the owned-array
+        fast path) buffers on demand instead of clearing full-size arrays.
+        """
         for param in self.parameters:
             param.zero_grad()
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+
+class EarlyStopping:
+    """Loss-plateau tracker shared by the GAE and TPGCL training loops.
+
+    Disabled when ``patience <= 0``; otherwise reports "stop" after the
+    monitored loss has failed to improve on the best seen value by more
+    than ``min_delta`` for ``patience`` consecutive steps.
+    """
+
+    def __init__(self, patience: int, min_delta: float = 0.0) -> None:
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = np.inf
+        self.wait = 0
+
+    def should_stop(self, loss: float) -> bool:
+        if self.patience <= 0:
+            return False
+        if loss < self.best - self.min_delta:
+            self.best = loss
+            self.wait = 0
+            return False
+        self.wait += 1
+        return self.wait >= self.patience
 
 
 class SGD(Optimizer):
@@ -43,21 +83,25 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity, scratch in zip(self.parameters, self._velocity, self._scratch):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                scratch += grad
+                grad = scratch
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 update = velocity
             else:
                 update = grad
-            param.data -= self.lr * update
+            np.multiply(update, self.lr, out=scratch)
+            param.data -= scratch
 
 
 class Adam(Optimizer):
@@ -81,21 +125,37 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch1 = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch2 = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v, s1, s2 in zip(
+            self.parameters, self._m, self._v, self._scratch1, self._scratch2
+        ):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=s1)
+                s1 += grad
+                grad = s1
+            # m ← β₁·m + (1−β₁)·g
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            m += s2
+            # v ← β₂·v + (1−β₂)·g²
+            np.multiply(grad, grad, out=s2)
+            s2 *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += s2
+            # θ ← θ − lr·m̂ / (√v̂ + ε)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(m, bias1, out=s1)
+            s1 *= self.lr
+            s1 /= s2
+            param.data -= s1

@@ -2,7 +2,8 @@
 
 An artifact is a directory with two files:
 
-* ``arrays.npz`` — every trained parameter as a float64 array, keyed
+* ``arrays.npz`` — every trained parameter in its training dtype
+  (float64 on the reference path, float32 in fast mode), keyed
   ``mhgae.<param>`` / ``tpgcl.encoder.<param>`` /
   ``tpgcl.statistics_network.<param>`` (the qualified names of
   :meth:`repro.nn.Module.state_dict`), saved uncompressed so the bytes
@@ -187,6 +188,13 @@ class PipelineState:
         """
         return self.config.content_hash()
 
+    def stage_dtypes(self) -> Dict[str, str]:
+        """Canonical training dtype of each learned stage (from the config)."""
+        return {
+            "mhgae": str(np.dtype(self.config.mhgae.dtype)),
+            "tpgcl": str(np.dtype(self.config.tpgcl.dtype)),
+        }
+
     def manifest(self) -> Dict:
         """The JSON manifest describing this artifact."""
         import scipy
@@ -199,6 +207,7 @@ class PipelineState:
                 # source the loader restores reseed() semantics from.
                 "config": config_to_dict(self.config),
                 "config_hash": self.config_hash(),
+                "dtype": self.stage_dtypes(),
                 "n_features": self.n_features,
                 "graph_fingerprint": self.graph_fingerprint,
                 "has_mhgae": self.mhgae_state is not None,
@@ -254,16 +263,40 @@ class PipelineState:
                 f"config dict hashes to {config.content_hash()!r} (manifest edited?)"
             )
 
+        expected_dtypes = {
+            "mhgae": np.dtype(config.mhgae.dtype),
+            "tpgcl": np.dtype(config.tpgcl.dtype),
+        }
+        recorded_dtypes = manifest.get("dtype")
+        if recorded_dtypes is not None:
+            # The dtype record is derived from the config at save time, so a
+            # contradiction means the manifest was edited after publishing —
+            # loading would silently reinterpret the stored weights.
+            for stage, recorded in recorded_dtypes.items():
+                expected = expected_dtypes.get(stage)
+                if expected is not None and np.dtype(recorded) != expected:
+                    raise ValueError(
+                        f"artifact at '{root}' records {stage} dtype {recorded!r} but its "
+                        f"config trains in {expected.name!r} (manifest edited?)"
+                    )
+
         mhgae_state: Optional[Dict[str, np.ndarray]] = None
         tpgcl_state: Optional[Dict[str, np.ndarray]] = None
         with np.load(root / ARRAYS_NAME) as arrays:
             for key in arrays.files:
+                # Stored arrays from older (pre-dtype) artifacts are always
+                # float64; cast to the stage's training dtype so the bound
+                # models run in the precision their config declares.
                 if key.startswith(_MHGAE_PREFIX):
                     mhgae_state = mhgae_state or {}
-                    mhgae_state[key[len(_MHGAE_PREFIX):]] = arrays[key]
+                    mhgae_state[key[len(_MHGAE_PREFIX):]] = np.asarray(
+                        arrays[key], dtype=expected_dtypes["mhgae"]
+                    )
                 elif key.startswith(_TPGCL_PREFIX):
                     tpgcl_state = tpgcl_state or {}
-                    tpgcl_state[key[len(_TPGCL_PREFIX):]] = arrays[key]
+                    tpgcl_state[key[len(_TPGCL_PREFIX):]] = np.asarray(
+                        arrays[key], dtype=expected_dtypes["tpgcl"]
+                    )
         if manifest.get("has_mhgae") and mhgae_state is None:
             raise ValueError(f"artifact at '{root}' declares MH-GAE state but {ARRAYS_NAME} has none")
         if manifest.get("has_tpgcl") and tpgcl_state is None:

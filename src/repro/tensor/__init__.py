@@ -20,8 +20,28 @@ Example
 [[3.0, 4.0]]
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+    tape_node_count,
+    reset_tape_node_count,
+)
 from repro.tensor import functional
 from repro.tensor.functional import spmm
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "spmm"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "tape_node_count",
+    "reset_tape_node_count",
+    "functional",
+    "spmm",
+]

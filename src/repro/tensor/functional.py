@@ -5,11 +5,25 @@ the models in this repository use: row-wise softmax / log-softmax,
 numerically stable binary cross entropy, mean squared error, L2
 normalisation, and a sparse-dense matrix product (``spmm``) for GCN
 propagation with scipy CSR matrices.
+
+The module also hosts the *fused* training kernels of the fast training
+engine (DESIGN.md, "Fast training engine"):
+
+* :func:`gae_reconstruction_loss` — the GAE objective
+  ``λ·mean((A−A')²) + (1−λ)·mean((X−X')²)`` as a single tape node.  The
+  unfused expression records ten tape nodes and allocates ~7 full ``n×n``
+  temporaries per epoch (forward intermediates, the ``ones_like`` seed
+  gradient, per-op backward products); the fused kernel keeps two forward
+  residuals and writes one backward product per term, while reproducing
+  the unfused float64 forward value and gradients *bit for bit* (it
+  applies the identical scalar operations in the identical order).
+* :func:`segment_mean` — sparse-matrix mean readout over row segments,
+  the batched replacement for per-subgraph ``mean(axis=0)`` + concat.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -23,20 +37,137 @@ def spmm(matrix: Union[sp.spmatrix, np.ndarray], x: Tensor) -> Tensor:
     The matrix (typically a normalised adjacency) is a constant of the
     optimisation problem, so gradients flow only into ``x``:
     ``d(loss)/dx = matrixᵀ @ d(loss)/d(out)``.  Dense inputs fall back to
-    the ordinary autodiff matmul.
+    the ordinary autodiff matmul.  The matrix is cast to ``x``'s dtype, so
+    a float32 graph runs float32 sparse products end to end.
     """
     x_t = x if isinstance(x, Tensor) else Tensor(x)
     if not sp.issparse(matrix):
-        return Tensor(np.asarray(matrix, dtype=np.float64)) @ x_t
+        return Tensor(np.asarray(matrix, dtype=x_t.data.dtype)) @ x_t
     csr = matrix.tocsr()
-    if csr.dtype != np.float64:
-        csr = csr.astype(np.float64)
+    if csr.dtype != x_t.data.dtype:
+        csr = csr.astype(x_t.data.dtype)
     data = np.asarray(csr @ x_t.data)
 
     def backward(grad: np.ndarray) -> None:
-        x_t._accumulate(np.asarray(csr.T @ np.asarray(grad, dtype=np.float64)))
+        x_t._accumulate(np.asarray(csr.T @ np.asarray(grad)), owned=True)
 
     return Tensor._make(data, (x_t,), backward, "spmm")
+
+
+def segment_mean(x: Tensor, segment_sizes: Sequence[int]) -> Tensor:
+    """Mean over consecutive row segments of ``x``; returns ``(m, d)``.
+
+    Segment ``i`` covers rows ``[offset_i, offset_i + segment_sizes[i])``.
+    Implemented as one sparse averaging product ``M @ x`` (rows of ``M``
+    hold ``1/n_i`` at the segment's positions), so a block-diagonal batch
+    of group subgraphs reads out every group embedding in a single
+    SpMM-backed tape node instead of a per-group mean + concatenate loop.
+    """
+    sizes = np.asarray(segment_sizes, dtype=np.int64)
+    if sizes.ndim != 1 or sizes.size == 0 or (sizes <= 0).any():
+        raise ValueError("segment_sizes must be a non-empty sequence of positive ints")
+    x_t = x if isinstance(x, Tensor) else Tensor(x)
+    total = int(sizes.sum())
+    if x_t.data.shape[0] != total:
+        raise ValueError(f"x has {x_t.data.shape[0]} rows but segments cover {total}")
+    rows = np.repeat(np.arange(sizes.size), sizes)
+    values = np.repeat(1.0 / sizes, sizes).astype(x_t.data.dtype, copy=False)
+    averaging = sp.csr_matrix(
+        (values, (rows, np.arange(total))), shape=(sizes.size, total)
+    )
+    return spmm(averaging, x_t)
+
+
+def _workspace_buffer(workspace, key: str, shape, dtype) -> np.ndarray:
+    """Fetch (or lazily allocate) a reusable array from a workspace dict."""
+    buffer = workspace.get(key)
+    if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+        buffer = np.empty(shape, dtype=dtype)
+        workspace[key] = buffer
+    return buffer
+
+
+def gae_reconstruction_loss(
+    structure_hat: Tensor,
+    structure_target: np.ndarray,
+    attribute_hat: Tensor,
+    attribute_target: np.ndarray,
+    structure_weight: float,
+    workspace: Optional[dict] = None,
+) -> Tensor:
+    """Fused GAE objective ``λ·mean((A−A')²) + (1−λ)·mean((X−X')²)``.
+
+    Bit-identical in value and gradients to the unfused autodiff graph
+
+    .. code-block:: python
+
+        ((structure_hat - A) ** 2).mean() * lam \
+            + ((attribute_hat - X) ** 2).mean() * (1.0 - lam)
+
+    but recorded as one tape node: the only retained intermediates are the
+    two residual matrices, and each backward pass performs exactly one
+    full-size multiply per term.  Targets are constants of the problem
+    (no gradient flows into them).
+
+    ``workspace`` (an ordinary dict owned by the training loop) makes the
+    kernel allocation-free across epochs: residuals and squared residuals
+    are written into persistent buffers, and the backward product is formed
+    in place over the residual.  The gradient handed to ``structure_hat``
+    then *is* the workspace buffer — valid for the current backward pass,
+    overwritten by the next forward — which is exactly the lifetime a
+    training step needs.  Pass ``None`` (default) for fully independent
+    gradient arrays.
+    """
+    s_hat = structure_hat if isinstance(structure_hat, Tensor) else Tensor(structure_hat)
+    a_hat = attribute_hat if isinstance(attribute_hat, Tensor) else Tensor(attribute_hat)
+    s_target = np.asarray(structure_target)
+    a_target = np.asarray(attribute_target)
+    lam = float(structure_weight)
+
+    # Forward: the exact op sequence of the unfused graph (sub, pow 2,
+    # sum, * 1/size, * weight, add) so float64 values match bitwise
+    # (x ** 2 is computed as x·x by numpy, which the buffered path mirrors).
+    if workspace is None:
+        s_diff = s_hat.data - s_target
+        a_diff = a_hat.data - a_target
+        s_sq, a_sq = s_diff ** 2, a_diff ** 2
+    else:
+        s_diff = np.subtract(
+            s_hat.data, s_target,
+            out=_workspace_buffer(workspace, "s_diff", s_hat.data.shape, s_hat.data.dtype),
+        )
+        a_diff = np.subtract(
+            a_hat.data, a_target,
+            out=_workspace_buffer(workspace, "a_diff", a_hat.data.shape, a_hat.data.dtype),
+        )
+        s_sq = np.multiply(
+            s_diff, s_diff,
+            out=_workspace_buffer(workspace, "s_sq", s_diff.shape, s_diff.dtype),
+        )
+        a_sq = np.multiply(
+            a_diff, a_diff,
+            out=_workspace_buffer(workspace, "a_sq", a_diff.shape, a_diff.dtype),
+        )
+    s_mean = s_sq.sum() * (1.0 / s_diff.size)
+    a_mean = a_sq.sum() * (1.0 / a_diff.size)
+    loss = s_mean * lam + a_mean * (1.0 - lam)
+
+    def backward(grad: np.ndarray) -> None:
+        # Mirrors the unfused chain: each residual's upstream coefficient
+        # is ((g * weight) * (1/size)) * 2, applied in that order.
+        g = np.asarray(grad)
+        s_coeff = ((g * lam) * (1.0 / s_diff.size)) * 2
+        a_coeff = ((g * (1.0 - lam)) * (1.0 / a_diff.size)) * 2
+        if workspace is None:
+            s_grad = s_coeff * s_diff
+            a_grad = a_coeff * a_diff
+        else:
+            s_grad = np.multiply(s_diff, s_coeff, out=s_diff)
+            a_grad = np.multiply(a_diff, a_coeff, out=a_diff)
+        s_hat._accumulate(s_grad, owned=True)
+        a_hat._accumulate(a_grad, owned=True)
+
+    return Tensor._make(np.asarray(loss), (s_hat, a_hat), backward, "gae_loss")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:

@@ -9,6 +9,23 @@ the recorded graph and applies the closures in reverse order.
 Only the operations required by the models in this repository are
 implemented (dense matmul, elementwise arithmetic, reductions, activations,
 indexing and concatenation), which keeps the engine small and auditable.
+
+Two engine-level properties matter for training throughput (see DESIGN.md,
+"Fast training engine"):
+
+* **dtype awareness** — tensors carry the dtype of their payload instead of
+  force-casting everything to ``float64``.  Floating arrays keep their
+  dtype, scalars and non-float inputs resolve to the thread-local default
+  (:func:`get_default_dtype`, ``float64`` unless a :func:`default_dtype`
+  context is active), and every binary op coerces wrapped scalar operands
+  to the tensor's own dtype so a ``float32`` graph never silently promotes
+  back to ``float64``.  The ``float64`` path is bit-identical to the
+  original engine.
+* **buffer reuse** — backward closures that compute a *fresh* gradient
+  array hand it to :meth:`Tensor._accumulate` with ``owned=True`` so the
+  tape takes ownership instead of copying; subsequent accumulations into
+  the same parent are in-place ``+=``.  This removes one full-size
+  allocation per op per step without changing any value.
 """
 
 from __future__ import annotations
@@ -22,6 +39,8 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _state = threading.local()
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 def is_grad_enabled() -> bool:
@@ -44,10 +63,66 @@ def no_grad():
         _state.grad_enabled = previous
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
+# ----------------------------------------------------------------------
+# Default dtype (thread-local, like grad mode)
+# ----------------------------------------------------------------------
+def get_default_dtype() -> np.dtype:
+    """The dtype given to tensors built from scalars / non-float inputs."""
+    return getattr(_state, "default_dtype", np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the thread-local default floating dtype (``float32``/``float64``)."""
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {resolved}")
+    _state.default_dtype = resolved
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping the default floating dtype.
+
+    Model constructors resolve initialiser dtypes through
+    :func:`get_default_dtype`, so wrapping construction (and training) in
+    ``default_dtype("float32")`` is how the float32 fast mode flows from a
+    config down to every parameter and kernel.
+    """
+    previous = get_default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _state.default_dtype = previous
+
+
+# ----------------------------------------------------------------------
+# Tape instrumentation
+# ----------------------------------------------------------------------
+def tape_node_count() -> int:
+    """Number of gradient-recording tape nodes created on this thread.
+
+    A cheap sentinel for "does this code path build a backward graph?":
+    inference paths wrapped in :func:`no_grad` must leave the counter
+    untouched (see ``tests/test_train_engine.py``).
+    """
+    return getattr(_state, "tape_nodes", 0)
+
+
+def reset_tape_node_count() -> None:
+    """Reset the thread-local tape node counter to zero."""
+    _state.tape_nodes = 0
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
-        return value.data
-    return np.asarray(value, dtype=np.float64)
+        data = value.data
+        return data if dtype is None else np.asarray(data, dtype=dtype)
+    if dtype is not None:
+        return np.asarray(value, dtype=dtype)
+    if isinstance(value, (np.ndarray, np.generic)) and value.dtype in _FLOAT_DTYPES:
+        return np.asarray(value)
+    return np.asarray(value, dtype=get_default_dtype())
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -70,10 +145,15 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; always stored as ``float64``.
+        Array-like payload.  Floating arrays keep their dtype; scalars,
+        lists and integer arrays are cast to the thread-local default
+        dtype (``float64`` unless a :func:`default_dtype` context says
+        otherwise).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Optional explicit dtype overriding the resolution above.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "_op")
@@ -85,8 +165,9 @@ class Tensor:
         _parents: Sequence["Tensor"] = (),
         _backward_fn: Optional[Callable[[np.ndarray], None]] = None,
         _op: str = "leaf",
+        dtype=None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple[Tensor, ...] = tuple(_parents) if is_grad_enabled() else ()
@@ -107,6 +188,10 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def T(self) -> "Tensor":
@@ -135,6 +220,16 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph construction helpers
     # ------------------------------------------------------------------
+    def _wrap(self, other: ArrayLike) -> "Tensor":
+        """Wrap a non-tensor operand, coercing it to this tensor's dtype.
+
+        Keeps mixed expressions dtype-stable: ``float32_tensor * 0.5`` (or
+        ``- numpy_float64_scalar``) stays ``float32`` instead of numpy
+        promoting through a ``float64`` 0-d wrapper.  For ``float64``
+        tensors this is exactly the old always-float64 behaviour.
+        """
+        return other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
+
     @staticmethod
     def _make(
         data: np.ndarray,
@@ -144,25 +239,40 @@ class Tensor:
     ) -> "Tensor":
         requires_grad = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires_grad, _parents=parents, _backward_fn=backward_fn, _op=op)
-        if not requires_grad:
+        if not out.requires_grad:
             out._parents = ()
             out._backward_fn = None
+        else:
+            _state.tape_nodes = getattr(_state, "tape_nodes", 0) + 1
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``owned=True`` promises the caller just allocated ``grad`` and will
+        never read it again, so the first accumulation can take the array
+        by reference instead of copying it.  Arrays that alias a child's
+        gradient buffer (or any live view) must be passed unowned.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        arr = np.asarray(grad)
+        if arr.dtype != self.data.dtype:
+            arr = arr.astype(self.data.dtype)
+            owned = True
+        if arr.shape != self.data.shape:
+            arr = _unbroadcast(arr, self.data.shape)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = arr if owned else arr.copy()
         else:
-            self.grad += grad
+            self.grad += arr
 
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._wrap(other)
         data = self.data + other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -178,30 +288,30 @@ class Tensor:
         data = -self.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, owned=True)
 
         return Tensor._make(data, (self,), backward, "neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._wrap(other)
         data = self.data - other_t.data
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
-            other_t._accumulate(-grad)
+            other_t._accumulate(-grad, owned=True)
 
         return Tensor._make(data, (self, other_t), backward, "sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__sub__(self)
+        return self._wrap(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._wrap(other)
         data = self.data * other_t.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other_t.data)
-            other_t._accumulate(grad * self.data)
+            self._accumulate(grad * other_t.data, owned=True)
+            other_t._accumulate(grad * self.data, owned=True)
 
         return Tensor._make(data, (self, other_t), backward, "mul")
 
@@ -209,17 +319,17 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._wrap(other)
         data = self.data / other_t.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other_t.data)
-            other_t._accumulate(-grad * self.data / (other_t.data ** 2))
+            self._accumulate(grad / other_t.data, owned=True)
+            other_t._accumulate(-grad * self.data / (other_t.data ** 2), owned=True)
 
         return Tensor._make(data, (self, other_t), backward, "div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__truediv__(self)
+        return self._wrap(other).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -227,7 +337,10 @@ class Tensor:
         data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            # exponent == 2 is the reconstruction-loss hot case; x ** 1 is
+            # bitwise x, so skip the full-size allocation it would make.
+            base = self.data if exponent == 2 else self.data ** (exponent - 1)
+            self._accumulate(grad * exponent * base, owned=True)
 
         return Tensor._make(data, (self,), backward, "pow")
 
@@ -235,28 +348,28 @@ class Tensor:
         return self.matmul(other)
 
     def __rmatmul__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).matmul(self)
+        return self._wrap(other).matmul(self)
 
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix product of two 1-D or 2-D tensors."""
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._wrap(other)
         data = self.data @ other_t.data
 
         def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad)
             a, b = self.data, other_t.data
             if a.ndim == 1 and b.ndim == 1:
-                self._accumulate(grad * b)
-                other_t._accumulate(grad * a)
+                self._accumulate(grad * b, owned=True)
+                other_t._accumulate(grad * a, owned=True)
             elif a.ndim == 2 and b.ndim == 2:
-                self._accumulate(grad @ b.T)
-                other_t._accumulate(a.T @ grad)
+                self._accumulate(grad @ b.T, owned=True)
+                other_t._accumulate(a.T @ grad, owned=True)
             elif a.ndim == 1 and b.ndim == 2:
-                self._accumulate(grad @ b.T)
-                other_t._accumulate(np.outer(a, grad))
+                self._accumulate(grad @ b.T, owned=True)
+                other_t._accumulate(np.outer(a, grad), owned=True)
             elif a.ndim == 2 and b.ndim == 1:
-                self._accumulate(np.outer(grad, b))
-                other_t._accumulate(a.T @ grad)
+                self._accumulate(np.outer(grad, b), owned=True)
+                other_t._accumulate(a.T @ grad, owned=True)
             else:  # pragma: no cover - unsupported rank combination
                 raise ValueError("matmul backward supports 1-D/2-D operands only")
 
@@ -290,7 +403,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate(full, owned=True)
 
         return Tensor._make(data, (self,), backward, "getitem")
 
@@ -321,7 +434,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             grad = np.asarray(grad)
             for i, t in enumerate(tensors):
-                t._accumulate(np.take(grad, i, axis=axis))
+                t._accumulate(np.take(grad, i, axis=axis), owned=True)
 
         return Tensor._make(data, tensors, backward, "stack")
 
@@ -332,9 +445,9 @@ class Tensor:
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if axis is None:
-                self._accumulate(np.ones_like(self.data) * grad)
+                self._accumulate(np.ones_like(self.data) * grad, owned=True)
             else:
                 if not keepdims:
                     grad = np.expand_dims(grad, axis=axis)
@@ -353,17 +466,17 @@ class Tensor:
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
                 mask /= mask.sum()
-                self._accumulate(mask * grad)
+                self._accumulate(mask * grad, owned=True)
             else:
                 expanded = data if keepdims else np.expand_dims(data, axis=axis)
-                mask = (self.data == expanded).astype(np.float64)
+                mask = (self.data == expanded).astype(self.data.dtype)
                 mask /= mask.sum(axis=axis, keepdims=True)
                 g = grad if keepdims else np.expand_dims(grad, axis=axis)
-                self._accumulate(mask * g)
+                self._accumulate(mask * g, owned=True)
 
         return Tensor._make(data, (self,), backward, "max")
 
@@ -374,7 +487,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, owned=True)
 
         return Tensor._make(data, (self,), backward, "exp")
 
@@ -382,7 +495,7 @@ class Tensor:
         data = np.log(self.data + eps)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / (self.data + eps))
+            self._accumulate(grad / (self.data + eps), owned=True)
 
         return Tensor._make(data, (self,), backward, "log")
 
@@ -393,7 +506,7 @@ class Tensor:
         data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), owned=True)
 
         return Tensor._make(data, (self,), backward, "abs")
 
@@ -401,7 +514,7 @@ class Tensor:
         data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0.0))
+            self._accumulate(grad * (self.data > 0.0), owned=True)
 
         return Tensor._make(data, (self,), backward, "relu")
 
@@ -409,15 +522,27 @@ class Tensor:
         data = np.where(self.data > 0.0, self.data, negative_slope * self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.where(self.data > 0.0, 1.0, negative_slope))
+            self._accumulate(grad * np.where(self.data > 0.0, 1.0, negative_slope), owned=True)
 
         return Tensor._make(data, (self,), backward, "leaky_relu")
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        # In-place chain equivalent to 1 / (1 + exp(-clip(x))): one buffer
+        # instead of five n×n temporaries — this is the inner-product
+        # decoder's hot path.  Each rewritten step applies the identical
+        # scalar operation (1.0 + t commutes), so values are bitwise equal
+        # to the allocating form.
+        data = np.clip(self.data, -60.0, 60.0)
+        np.negative(data, out=data)
+        np.exp(data, out=data)
+        data += 1.0
+        np.divide(1.0, data, out=data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            # Same pairing as grad * data * (1.0 - data), third product in place.
+            out = grad * data
+            out *= np.subtract(1.0, data)
+            self._accumulate(out, owned=True)
 
         return Tensor._make(data, (self,), backward, "sigmoid")
 
@@ -425,7 +550,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data ** 2))
+            self._accumulate(grad * (1.0 - data ** 2), owned=True)
 
         return Tensor._make(data, (self,), backward, "tanh")
 
@@ -435,7 +560,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             sig = 1.0 / (1.0 + np.exp(-clipped))
-            self._accumulate(grad * sig)
+            self._accumulate(grad * sig, owned=True)
 
         return Tensor._make(data, (self,), backward, "softplus")
 
@@ -444,7 +569,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             mask = (self.data >= low) & (self.data <= high)
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(data, (self,), backward, "clip")
 
@@ -453,11 +578,11 @@ class Tensor:
         if not training or rate <= 0.0:
             return self
         keep = 1.0 - rate
-        mask = (rng.random(self.data.shape) < keep).astype(np.float64) / keep
+        mask = (rng.random(self.data.shape) < keep).astype(self.data.dtype) / keep
         data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(data, (self,), backward, "dropout")
 
@@ -477,7 +602,7 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
 

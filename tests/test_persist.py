@@ -311,6 +311,66 @@ class TestManifest:
             PipelineState.load(path)
 
 
+class TestDtypeManifest:
+    """Artifacts record their training dtype and defend it on load."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path, example_graph):
+        detector = TPGrGAD(_tiny_config())
+        detector.fit_detect(example_graph)
+        path = tmp_path / "artifact"
+        detector.save(path)
+        return detector, path, example_graph
+
+    def test_manifest_records_stage_dtypes(self, saved):
+        _, path, _ = saved
+        with open(path / "manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["dtype"] == {"mhgae": "float64", "tpgcl": "float64"}
+
+    def test_float32_artifact_roundtrip(self, tmp_path, example_graph):
+        detector = TPGrGAD(_tiny_config().accelerated())
+        result = detector.fit_detect(example_graph)
+        path = tmp_path / "artifact32"
+        detector.save(path)
+
+        with open(path / "manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["dtype"] == {"mhgae": "float32", "tpgcl": "float32"}
+
+        state = PipelineState.load(path)
+        for values in state.mhgae_state.values():
+            assert values.dtype == np.float32
+        if state.tpgcl_state is not None:
+            for values in state.tpgcl_state.values():
+                assert values.dtype == np.float32
+
+        warm = TPGrGAD.from_state(state).detect_only(example_graph)
+        np.testing.assert_allclose(warm.scores, result.scores, atol=SCORE_TOLERANCE)
+
+    def test_load_rejects_edited_dtype(self, saved):
+        _, path, _ = saved
+        with open(path / "manifest.json") as handle:
+            manifest = json.load(handle)
+        manifest["dtype"]["mhgae"] = "float32"  # hand edit; config still float64
+        with open(path / "manifest.json", "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError, match="dtype"):
+            PipelineState.load(path)
+
+    def test_legacy_manifest_without_dtype_loads(self, saved):
+        detector, path, example_graph = saved
+        with open(path / "manifest.json") as handle:
+            manifest = json.load(handle)
+        del manifest["dtype"]  # pre-dtype artifacts have no such key
+        with open(path / "manifest.json", "w") as handle:
+            json.dump(manifest, handle)
+        state = PipelineState.load(path)
+        for name, values in detector.mhgae.state_dict().items():
+            assert values.dtype == np.float64
+            assert np.array_equal(state.mhgae_state[name], values), name
+
+
 class TestContentHash:
     """One config identity for the stage cache, the manifest and the registry."""
 

@@ -1,0 +1,449 @@
+"""Tests for the fast training engine (dtype-aware autodiff, fused/batched
+kernels, in-place optimizers, early stopping).
+
+Four oracle families:
+
+* **Optimizer trajectory regression** — the in-place SGD/Adam steps must
+  reproduce the pre-refactor allocating implementations *bitwise* (the
+  references are kept verbatim in this file).
+* **Tape-leakage sentinel** — inference paths (``detect_only``,
+  ``embed_groups``, GAE reconstruction/scoring; the serve scoring path
+  calls ``detect_only``) must record zero tape nodes.
+* **Float32 parity** — full-pipeline fast-mode runs detect the same
+  groups with identical CR/F1 on the seed datasets; warm inference with
+  shared weights keeps scores within 1e-4.  (Full *training* trajectories
+  in float32 legitimately drift — chaotic contrastive dynamics amplify
+  rounding — so score closeness is pinned on the inference path, decisions
+  on the end-to-end path.)
+* **Kernel equivalence** — the fused GAE loss matches the unfused autodiff
+  graph bit for bit in float64; block-diagonal batched encoding matches
+  the looped reference to 1e-8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TPGrGAD, TPGrGADConfig
+from repro.datasets import make_example_graph
+from repro.gae import GAEConfig, GraphAutoEncoder, MHGAEConfig, MultiHopGAE
+from repro.gcl import GroupEncoder, TPGCL, TPGCLConfig
+from repro.graph import Graph, Group
+from repro.nn import Adam, EarlyStopping, Parameter, SGD
+from repro.nn.optim import Optimizer
+from repro.persist import PipelineState
+from repro.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    reset_tape_node_count,
+    set_default_dtype,
+    tape_node_count,
+)
+from repro.tensor.functional import gae_reconstruction_loss, segment_mean, spmm
+
+
+# ======================================================================
+# Reference (pre-refactor) optimizer implementations, kept verbatim as
+# the trajectory oracle for the in-place rewrites.
+# ======================================================================
+class _ReferenceSGD(Optimizer):
+    def __init__(self, parameters, lr=0.01, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class _ReferenceAdam(Optimizer):
+    def __init__(self, parameters, lr=0.001, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _run_trajectory(optimizer_cls, rng_seed, n_steps=12, dtype=np.float64, **kwargs):
+    rng = np.random.default_rng(rng_seed)
+    params = [
+        Parameter(rng.normal(size=(5, 3)).astype(dtype)),
+        Parameter(rng.normal(size=(3,)).astype(dtype)),
+    ]
+    optimizer = optimizer_cls(params, **kwargs)
+    grad_rng = np.random.default_rng(rng_seed + 1)
+    for _ in range(n_steps):
+        for param in params:
+            param.grad = grad_rng.normal(size=param.data.shape).astype(dtype)
+        optimizer.step()
+    return [param.data.copy() for param in params]
+
+
+class TestInPlaceOptimizers:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lr": 0.05},
+            {"lr": 0.05, "momentum": 0.9},
+            {"lr": 0.05, "momentum": 0.9, "weight_decay": 1e-3},
+        ],
+    )
+    def test_sgd_trajectory_bitwise(self, kwargs):
+        new = _run_trajectory(SGD, 7, **kwargs)
+        ref = _run_trajectory(_ReferenceSGD, 7, **kwargs)
+        for a, b in zip(new, ref):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"lr": 0.01}, {"lr": 0.01, "weight_decay": 1e-3}]
+    )
+    def test_adam_trajectory_bitwise(self, kwargs):
+        new = _run_trajectory(Adam, 11, **kwargs)
+        ref = _run_trajectory(_ReferenceAdam, 11, **kwargs)
+        for a, b in zip(new, ref):
+            assert np.array_equal(a, b)
+
+    def test_adam_float32_stays_float32(self):
+        (w, b) = _run_trajectory(Adam, 3, dtype=np.float32, lr=0.01, weight_decay=1e-4)
+        assert w.dtype == np.float32 and b.dtype == np.float32
+
+    def test_zero_grad_drops_buffers(self):
+        param = Parameter(np.ones((4, 4)))
+        loss = (param * param).sum()
+        loss.backward()
+        assert param.grad is not None
+        Adam([param]).zero_grad()
+        assert param.grad is None
+
+    def test_early_stopping_tracker(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.1)
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(0.8)   # improved
+        assert not stopper.should_stop(0.75)  # < min_delta improvement: wait 1
+        assert stopper.should_stop(0.74)      # wait 2 -> stop
+        assert not EarlyStopping(patience=0).should_stop(5.0)
+
+
+# ======================================================================
+# Dtype plumbing
+# ======================================================================
+class TestDtypePlumbing:
+    def test_default_dtype_context(self):
+        assert get_default_dtype() == np.float64
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_float32_survives_scalar_arithmetic(self):
+        x = Tensor(np.ones((3, 3), dtype=np.float32), requires_grad=True)
+        y = ((x * 2.0 + 1.0) / 3.0 - 0.5) ** 2
+        assert y.data.dtype == np.float32
+        y.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_binary_ops_coerce_wrapped_operand(self):
+        x = Tensor(np.ones(4, dtype=np.float32))
+        assert (1.0 - x).data.dtype == np.float32
+        assert (2.0 / (x + 1.0)).data.dtype == np.float32
+
+    def test_existing_float64_arrays_keep_dtype_under_float32_default(self):
+        with default_dtype(np.float32):
+            assert Tensor(np.ones(3, dtype=np.float64)).data.dtype == np.float64
+
+    def test_init_respects_default_dtype(self):
+        from repro.nn import glorot_uniform, zeros
+
+        rng = np.random.default_rng(0)
+        with default_dtype(np.float32):
+            assert glorot_uniform((4, 4), rng).dtype == np.float32
+            assert zeros((4,)).dtype == np.float32
+        # float32 draws are the rounded image of the float64 draw
+        w64 = glorot_uniform((4, 4), np.random.default_rng(5))
+        w32 = glorot_uniform((4, 4), np.random.default_rng(5), dtype=np.float32)
+        assert np.array_equal(w32, w64.astype(np.float32))
+
+    def test_load_state_dict_casts_to_model_dtype(self):
+        from repro.nn import Linear
+
+        with default_dtype(np.float32):
+            layer = Linear(3, 2, np.random.default_rng(0))
+        state = {k: v.astype(np.float64) for k, v in layer.state_dict().items()}
+        layer.load_state_dict(state)
+        assert layer.weight.data.dtype == np.float32
+
+    def test_spmm_runs_in_input_dtype(self):
+        import scipy.sparse as sp
+
+        matrix = sp.random(6, 6, density=0.5, random_state=0, format="csr")
+        x = Tensor(np.ones((6, 2), dtype=np.float32), requires_grad=True)
+        out = spmm(matrix, x)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+
+# ======================================================================
+# Fused / batched kernels
+# ======================================================================
+class TestFusedKernels:
+    def _unfused_loss(self, s_hat, s_target, a_hat, a_target, lam):
+        structure_loss = ((s_hat - Tensor(s_target)) ** 2).mean()
+        attribute_loss = ((a_hat - Tensor(a_target)) ** 2).mean()
+        return structure_loss * lam + attribute_loss * (1.0 - lam)
+
+    @pytest.mark.parametrize("workspace", [None, {}])
+    def test_gae_loss_matches_unfused_bitwise(self, workspace):
+        rng = np.random.default_rng(0)
+        s_target = rng.normal(size=(12, 12))
+        a_target = rng.normal(size=(12, 5))
+        lam = 0.6
+
+        def build_hats():
+            z = Tensor(rng_state["z"].copy(), requires_grad=True)
+            return z, (z @ z.T).sigmoid(), (z * 0.5).tanh() @ Tensor(rng_state["w"])
+
+        rng_state = {"z": rng.normal(size=(12, 5)), "w": rng.normal(size=(5, 5))}
+        z1, s1, a1 = build_hats()
+        fused = gae_reconstruction_loss(s1, s_target, a1, a_target, lam, workspace=workspace)
+        fused.backward()
+        z2, s2, a2 = build_hats()
+        unfused = self._unfused_loss(s2, s_target, a2, a_target, lam)
+        unfused.backward()
+
+        assert np.array_equal(fused.data, unfused.data)
+        assert np.array_equal(z1.grad, z2.grad)
+
+    def test_gae_loss_workspace_reused_across_epochs(self):
+        rng = np.random.default_rng(1)
+        workspace: dict = {}
+        s_target = rng.normal(size=(6, 6))
+        a_target = rng.normal(size=(6, 3))
+        first_buffers = None
+        for _ in range(3):
+            s_hat = Tensor(rng.normal(size=(6, 6)), requires_grad=True)
+            a_hat = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+            loss = gae_reconstruction_loss(s_hat, s_target, a_hat, a_target, 0.5, workspace=workspace)
+            loss.backward()
+            buffers = {k: id(v) for k, v in workspace.items()}
+            if first_buffers is None:
+                first_buffers = buffers
+            assert buffers == first_buffers  # no reallocation epoch to epoch
+
+    def test_segment_mean_matches_manual_means(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(9, 4)), requires_grad=True)
+        out = segment_mean(x, [2, 3, 4])
+        expected = np.stack(
+            [x.data[0:2].mean(axis=0), x.data[2:5].mean(axis=0), x.data[5:9].mean(axis=0)]
+        )
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad[0], np.full(4, 0.5), atol=1e-15)
+
+    def test_segment_mean_validates_sizes(self):
+        x = Tensor(np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            segment_mean(x, [2, 3])
+        with pytest.raises(ValueError):
+            segment_mean(x, [])
+
+    def _random_group_graphs(self, rng, n_graphs=6, n_features=4):
+        graphs = []
+        for _ in range(n_graphs):
+            n = int(rng.integers(3, 9))
+            edges = [(i, (i + 1) % n) for i in range(n)]
+            extra = rng.integers(0, n, size=(3, 2))
+            edges += [tuple(e) for e in extra if e[0] != e[1]]
+            graphs.append(Graph(n, edges, rng.normal(size=(n, n_features))))
+        return graphs
+
+    def test_blockdiag_encode_matches_looped(self):
+        rng = np.random.default_rng(3)
+        graphs = self._random_group_graphs(rng)
+        encoder = GroupEncoder(4, hidden_dim=8, embedding_dim=6, rng=np.random.default_rng(0))
+        looped = encoder.encode_batch(graphs, batched=False)
+        batched = encoder.encode_batch(graphs, batched=True)
+        np.testing.assert_allclose(batched.data, looped.data, atol=1e-8)
+
+    def test_blockdiag_encode_gradients_flow(self):
+        rng = np.random.default_rng(4)
+        graphs = self._random_group_graphs(rng, n_graphs=3)
+        encoder = GroupEncoder(4, hidden_dim=8, embedding_dim=6, rng=np.random.default_rng(0))
+        encoder.encode_batch(graphs, batched=True).sum().backward()
+        for param in encoder.parameters():
+            assert param.grad is not None and np.isfinite(param.grad).all()
+
+
+# ======================================================================
+# Tape-leakage sentinel: inference must record no backward graph
+# ======================================================================
+class TestTapeSentinel:
+    def test_detect_only_and_embed_groups_build_no_tape(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        detector.fit_detect(example_graph)
+
+        reset_tape_node_count()
+        detector.detect_only(example_graph)  # the serve scoring path calls this
+        assert tape_node_count() == 0
+
+        groups = [Group.from_nodes(range(5)), Group.from_nodes(range(5, 10))]
+        reset_tape_node_count()
+        detector.tpgcl.embed_groups(example_graph, groups)
+        assert tape_node_count() == 0
+
+    def test_gae_inference_builds_no_tape(self, example_graph):
+        gae = MultiHopGAE(MHGAEConfig(epochs=2, hidden_dim=8, embedding_dim=4))
+        gae.fit(example_graph)
+        reset_tape_node_count()
+        gae.reconstruct()
+        gae.embed()
+        gae.score_nodes()
+        assert tape_node_count() == 0
+
+    def test_training_does_build_tape(self, example_graph):
+        reset_tape_node_count()
+        MultiHopGAE(MHGAEConfig(epochs=1, hidden_dim=8, embedding_dim=4)).fit(example_graph)
+        assert tape_node_count() > 0
+
+
+# ======================================================================
+# Float32 fast-mode parity
+# ======================================================================
+class TestFloat32Parity:
+    @pytest.mark.parametrize("graph_seed", [7, 11])
+    def test_full_pipeline_decisions_identical(self, graph_seed):
+        graph = make_example_graph(seed=graph_seed)
+        r64 = TPGrGAD(TPGrGADConfig.fast(seed=1)).fit_detect(graph)
+        r32 = TPGrGAD(TPGrGADConfig.fast(seed=1).accelerated()).fit_detect(graph)
+
+        groups64 = sorted(tuple(sorted(g.nodes)) for g in r64.anomalous_groups)
+        groups32 = sorted(tuple(sorted(g.nodes)) for g in r32.anomalous_groups)
+        assert groups32 == groups64
+
+        e64, e32 = r64.evaluate(graph), r32.evaluate(graph)
+        assert e32.cr == e64.cr
+        assert e32.f1 == e64.f1
+
+    def test_warm_inference_scores_within_1e4(self, example_graph):
+        detector = TPGrGAD(TPGrGADConfig.fast(seed=1))
+        detector.fit_detect(example_graph)
+        state = PipelineState.from_fitted(detector)
+
+        r64 = TPGrGAD.from_state(state).detect_only(example_graph)
+        state32 = PipelineState(
+            config=state.config.accelerated(),
+            n_features=state.n_features,
+            mhgae_state={k: np.asarray(v, np.float32) for k, v in state.mhgae_state.items()},
+            tpgcl_state=(
+                {k: np.asarray(v, np.float32) for k, v in state.tpgcl_state.items()}
+                if state.tpgcl_state is not None
+                else None
+            ),
+            graph_fingerprint=state.graph_fingerprint,
+            derived_stage_seeds=state.derived_stage_seeds,
+        )
+        r32 = TPGrGAD.from_state(state32).detect_only(example_graph)
+
+        np.testing.assert_allclose(r32.scores, r64.scores, atol=1e-4)
+        np.testing.assert_allclose(r32.node_scores, r64.node_scores, atol=1e-4)
+        groups64 = sorted(tuple(sorted(g.nodes)) for g in r64.anomalous_groups)
+        groups32 = sorted(tuple(sorted(g.nodes)) for g in r32.anomalous_groups)
+        assert groups32 == groups64
+
+    def test_float32_models_train_in_float32(self, example_graph):
+        gae = MultiHopGAE(MHGAEConfig(epochs=2, hidden_dim=8, embedding_dim=4, dtype="float32"))
+        gae.fit(example_graph)
+        assert gae._model.encoder_1.linear.weight.data.dtype == np.float32
+        assert gae.embed().dtype == np.float32
+
+        groups = [Group.from_nodes(range(6)), Group.from_nodes(range(6, 12)), Group.from_nodes(range(12, 18))]
+        model = TPGCL(TPGCLConfig(epochs=2, hidden_dim=8, embedding_dim=8, dtype="float32", batch_views=True))
+        model.fit(example_graph, groups)
+        assert model.encoder.dtype == np.float32
+        assert model.embed_groups(example_graph, groups).dtype == np.float32
+
+    def test_float64_default_unchanged_by_accelerated_clone(self):
+        config = TPGrGADConfig.fast(seed=1)
+        clone = config.accelerated(patience=3, min_delta=1e-5)
+        assert config.mhgae.dtype == "float64" and config.tpgcl.dtype == "float64"
+        assert not config.tpgcl.batch_views and config.mhgae.patience == 0
+        assert clone.mhgae.dtype == "float32" and clone.tpgcl.batch_views
+        assert clone.mhgae.patience == 3 and clone.tpgcl.min_delta == 1e-5
+        assert clone.content_hash() != config.content_hash()
+
+
+# ======================================================================
+# Early stopping in the training loops
+# ======================================================================
+class TestEarlyStopping:
+    def test_gae_early_stops_on_plateau(self, example_graph):
+        full = GraphAutoEncoder(GAEConfig(epochs=40, hidden_dim=8, embedding_dim=4, seed=0))
+        full.fit(example_graph)
+        stopped = GraphAutoEncoder(
+            GAEConfig(epochs=40, hidden_dim=8, embedding_dim=4, seed=0, patience=2, min_delta=1e-3)
+        )
+        stopped.fit(example_graph)
+        assert stopped.training_result.early_stopped
+        assert stopped.training_result.epochs_run < full.training_result.epochs_run
+        # The common prefix of the trajectories is identical: stopping only
+        # truncates, it never changes the steps that do run.
+        prefix = stopped.training_result.epochs_run
+        assert stopped.training_result.losses == full.training_result.losses[:prefix]
+
+    def test_patience_zero_runs_all_epochs(self, example_graph):
+        gae = GraphAutoEncoder(GAEConfig(epochs=5, hidden_dim=8, embedding_dim=4, seed=0))
+        gae.fit(example_graph)
+        assert gae.training_result.epochs_run == 5
+        assert not gae.training_result.early_stopped
+
+    def test_tpgcl_early_stops_on_plateau(self, example_graph):
+        groups = [Group.from_nodes(range(i * 6, (i + 1) * 6)) for i in range(5)]
+        model = TPGCL(
+            TPGCLConfig(epochs=40, hidden_dim=8, embedding_dim=8, patience=1, min_delta=10.0, seed=0)
+        )
+        model.fit(example_graph, groups)
+        assert model.training_result.early_stopped
+        assert model.training_result.epochs_run < 40
