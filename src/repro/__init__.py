@@ -47,6 +47,13 @@ _LAZY_ATTRS = {
     "ScoringServer": ("repro.serve", "ScoringServer"),
     "ScoringClient": ("repro.serve", "ScoringClient"),
     "ServeConfig": ("repro.serve", "ServeConfig"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "get_tracer": ("repro.obs", "get_tracer"),
+    "set_tracer": ("repro.obs", "set_tracer"),
+    "use_tracer": ("repro.obs", "use_tracer"),
+    "ProvenanceLog": ("repro.obs", "ProvenanceLog"),
+    "verify_record": ("repro.obs", "verify_record"),
+    "verify_log": ("repro.obs", "verify_log"),
 }
 
 
@@ -80,5 +87,12 @@ __all__ = [
     "ScoringServer",
     "ScoringClient",
     "ServeConfig",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "ProvenanceLog",
+    "verify_record",
+    "verify_log",
     "__version__",
 ]

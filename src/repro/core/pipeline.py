@@ -30,6 +30,7 @@ from repro.core.result import GroupDetectionResult
 from repro.gae import MultiHopGAE, select_anchor_nodes
 from repro.gcl import TPGCL
 from repro.graph import Graph, Group
+from repro.obs.tracer import get_tracer
 from repro.outlier import get_detector
 from repro.sampling import CandidateGroupSampler
 
@@ -184,11 +185,13 @@ class TPGrGAD:
         ``(graph fingerprint, config)`` key reproduces the cached outputs;
         the cache only skips redundant work, never changes results.
         """
+        tracer = get_tracer()
         key = self._cache_key(graph) if self.config.cache_size else None
         cached = self._stage_cache.get(key) if key is not None else None
         if cached is not None:
             self._stage_cache.move_to_end(key)
             self.cache_hits += 1
+            tracer.add("cache_hits")
             # Keep the stage-model attributes consistent with the result:
             # callers inspect e.g. ``detector.mhgae.score_nodes()`` after a
             # fit, and must see the models that scored *this* graph.
@@ -202,11 +205,16 @@ class TPGrGAD:
             self._warm_state = None
             return cached
         self.cache_misses += 1
+        tracer.add("cache_misses")
 
         self.tpgcl = None  # only set when the TPGCL stage actually runs
-        anchor_nodes = self.locate_anchors(graph)
-        candidates = self.sample_candidates(graph, anchor_nodes)
-        embeddings = self._embed_candidates(graph, candidates) if candidates else None
+        with tracer.span("stage.anchors"):
+            anchor_nodes = self.locate_anchors(graph)
+        with tracer.span("stage.sampling") as span:
+            candidates = self.sample_candidates(graph, anchor_nodes)
+            span.add("n_candidates", len(candidates))
+        with tracer.span("stage.embed"):
+            embeddings = self._embed_candidates(graph, candidates) if candidates else None
         outputs = _StageOutputs(
             anchor_nodes=np.asarray(anchor_nodes),
             node_scores=self.mhgae.score_nodes() if self.mhgae else None,
@@ -220,6 +228,7 @@ class TPGrGAD:
             while len(self._stage_cache) > self.config.cache_size:
                 self._stage_cache.popitem(last=False)
                 self.cache_evictions += 1
+                tracer.add("cache_evictions")
         return outputs
 
     def _score_stages(self, outputs: _StageOutputs, threshold: Optional[float]) -> GroupDetectionResult:
@@ -239,7 +248,8 @@ class TPGrGAD:
                 node_scores=None if outputs.node_scores is None else outputs.node_scores.copy(),
             )
 
-        scores = self._score_embeddings(outputs.embeddings)
+        with get_tracer().span("stage.score"):
+            scores = self._score_embeddings(outputs.embeddings)
         if threshold is None:
             threshold = float(np.quantile(scores, 1.0 - self.config.contamination))
         anomalous = [
@@ -272,8 +282,15 @@ class TPGrGAD:
             Optional explicit score threshold τ; when omitted it is set to
             the ``1 - contamination`` quantile of the candidate scores.
         """
-        self._graph = graph
-        return self._score_stages(self._run_stages(graph), threshold)
+        tracer = get_tracer()
+        with tracer.span("pipeline.fit_detect") as span:
+            self._graph = graph
+            result = self._score_stages(self._run_stages(graph), threshold)
+            if tracer.enabled:
+                span.set("n_nodes", graph.n_nodes)
+                span.set("n_candidates", result.n_candidates)
+                span.set("n_anomalous", result.n_anomalous)
+            return result
 
     def fit_detect_many(
         self,
@@ -349,37 +366,45 @@ class TPGrGAD:
         """
         from repro.persist import PipelineState
 
-        state = self._warm_state
-        if state is None:
-            # Cache the export: serving N graphs must not re-copy every
-            # parameter array N times.  Training invalidates this via
-            # locate_anchors (which clears _warm_state).
-            state = PipelineState.from_fitted(self)
-            self._warm_state = state
+        tracer = get_tracer()
+        with tracer.span("pipeline.detect_only") as top:
+            state = self._warm_state
+            if state is None:
+                # Cache the export: serving N graphs must not re-copy every
+                # parameter array N times.  Training invalidates this via
+                # locate_anchors (which clears _warm_state).
+                state = PipelineState.from_fitted(self)
+                self._warm_state = state
 
-        mhgae = state.bind_mhgae(graph)
-        node_scores = mhgae.score_nodes()
-        anchor_nodes = select_anchor_nodes(
-            node_scores,
-            fraction=self.config.anchor_fraction,
-            maximum=self.config.max_anchors,
-        )
-        candidates = self.sample_candidates(graph, anchor_nodes)
+            with tracer.span("stage.warm_bind"):
+                mhgae = state.bind_mhgae(graph)
+                node_scores = mhgae.score_nodes()
+                anchor_nodes = select_anchor_nodes(
+                    node_scores,
+                    fraction=self.config.anchor_fraction,
+                    maximum=self.config.max_anchors,
+                )
+            with tracer.span("stage.sampling") as span:
+                candidates = self.sample_candidates(graph, anchor_nodes)
+                span.add("n_candidates", len(candidates))
 
-        tpgcl, embeddings = self._warm_embed(state, graph, candidates)
+            with tracer.span("stage.warm_embed"):
+                tpgcl, embeddings = self._warm_embed(state, graph, candidates)
 
-        outputs = _StageOutputs(
-            anchor_nodes=np.asarray(anchor_nodes),
-            node_scores=node_scores,
-            candidates=candidates,
-            embeddings=embeddings,
-            mhgae=mhgae,
-            tpgcl=tpgcl,
-        )
-        self._graph = graph
-        self.mhgae = mhgae
-        self.tpgcl = tpgcl
-        return self._score_stages(outputs, threshold)
+            outputs = _StageOutputs(
+                anchor_nodes=np.asarray(anchor_nodes),
+                node_scores=node_scores,
+                candidates=candidates,
+                embeddings=embeddings,
+                mhgae=mhgae,
+                tpgcl=tpgcl,
+            )
+            self._graph = graph
+            self.mhgae = mhgae
+            self.tpgcl = tpgcl
+            if tracer.enabled:
+                top.set("n_nodes", graph.n_nodes)
+            return self._score_stages(outputs, threshold)
 
     def _warm_embed(self, state, graph: Graph, candidates: List[Group]):
         """Embed candidates with a PipelineState's trained encoder (no training).

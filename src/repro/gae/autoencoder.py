@@ -21,8 +21,9 @@ import scipy.sparse as sp
 
 from repro.graph import Graph, normalized_adjacency
 from repro.nn import Adam, EarlyStopping, GCNConv, MLP, Module
+from repro.obs.tracer import get_tracer
 from repro.seeding import resolve_seed
-from repro.tensor import Tensor, default_dtype, no_grad
+from repro.tensor import Tensor, default_dtype, no_grad, tape_node_count
 from repro.tensor.functional import gae_reconstruction_loss
 
 Propagation = Union[np.ndarray, sp.spmatrix]
@@ -186,36 +187,48 @@ class GraphAutoEncoder:
     def fit(self, graph: Graph) -> "GraphAutoEncoder":
         """Train encoder and decoders on ``graph`` (unsupervised)."""
         config = self.config
-        rng = np.random.default_rng(resolve_seed(config.seed))
-        self._bind_graph(graph)
-        lam = config.structure_weight
-        self.training_result = GAETrainingResult()
-        stopper = EarlyStopping(config.patience, config.min_delta)
-        workspace: dict = {}
+        tracer = get_tracer()
+        with tracer.span("gae.fit", model=type(self).__name__) as fit_span:
+            tape_before = tape_node_count()
+            rng = np.random.default_rng(resolve_seed(config.seed))
+            with tracer.span("gae.bind_graph"):
+                self._bind_graph(graph)
+            lam = config.structure_weight
+            self.training_result = GAETrainingResult()
+            stopper = EarlyStopping(config.patience, config.min_delta)
+            workspace: dict = {}
 
-        with default_dtype(self.dtype):
-            self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
-            features = Tensor(self._scaled_features)
-            optimizer = Adam(
-                self._model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
-            )
-            for _ in range(config.epochs):
-                optimizer.zero_grad()
-                z = self._model.encode(features, self._propagation)
-                structure_hat = self._model.decode_structure(z)
-                attribute_hat = self._model.decode_attributes(z)
-
-                loss = gae_reconstruction_loss(
-                    structure_hat, self._structure_target, attribute_hat, self._scaled_features, lam,
-                    workspace=workspace,
+            with default_dtype(self.dtype):
+                self._model = _GAEModel(graph.n_features, graph.n_nodes, config, rng)
+                features = Tensor(self._scaled_features)
+                optimizer = Adam(
+                    self._model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
                 )
-                loss.backward()
-                optimizer.step()
-                value = loss.item()
-                self.training_result.losses.append(value)
-                if stopper.should_stop(value):
-                    self.training_result.early_stopped = True
-                    break
+                for _ in range(config.epochs):
+                    with tracer.span("gae.epoch") as epoch_span:
+                        optimizer.zero_grad()
+                        z = self._model.encode(features, self._propagation)
+                        structure_hat = self._model.decode_structure(z)
+                        attribute_hat = self._model.decode_attributes(z)
+
+                        loss = gae_reconstruction_loss(
+                            structure_hat, self._structure_target, attribute_hat, self._scaled_features, lam,
+                            workspace=workspace,
+                        )
+                        loss.backward()
+                        optimizer.step()
+                        value = loss.item()
+                        self.training_result.losses.append(value)
+                        fit_span.add("optimizer_steps")
+                        if tracer.enabled:
+                            epoch_span.set("loss", value)
+                        if stopper.should_stop(value):
+                            self.training_result.early_stopped = True
+                            break
+            if tracer.enabled:
+                fit_span.add("tape_node_count", tape_node_count() - tape_before)
+                fit_span.set("epochs_run", self.training_result.epochs_run)
+                fit_span.set("early_stopped", self.training_result.early_stopped)
         return self
 
     # ------------------------------------------------------------------

@@ -24,8 +24,9 @@ from repro.gcl.encoder import GroupEncoder
 from repro.gcl.mine import MINEStatisticsNetwork, mine_mutual_information
 from repro.graph import Graph, Group
 from repro.nn import Adam, EarlyStopping
+from repro.obs.tracer import get_tracer
 from repro.seeding import resolve_seed
-from repro.tensor import default_dtype, no_grad
+from repro.tensor import default_dtype, no_grad, tape_node_count
 
 
 @dataclass
@@ -142,56 +143,71 @@ class TPGCL:
         if len(groups) < 2:
             raise ValueError("TPGCL needs at least two candidate groups")
         config = self.config
+        tracer = get_tracer()
 
-        parameter_rng = np.random.default_rng(resolve_seed(config.seed))
-        with default_dtype(np.dtype(config.dtype)):
-            self.encoder = GroupEncoder(
-                graph.n_features, config.hidden_dim, config.embedding_dim, rng=parameter_rng
-            )
-            self.statistics_network = MINEStatisticsNetwork(
-                config.embedding_dim, config.hidden_dim, rng=parameter_rng
-            )
-            optimizer = Adam(
-                self.encoder.parameters() + self.statistics_network.parameters(),
-                lr=config.learning_rate,
-                weight_decay=config.weight_decay,
-            )
+        with tracer.span("tpgcl.fit") as fit_span:
+            tape_before = tape_node_count()
+            parameter_rng = np.random.default_rng(resolve_seed(config.seed))
+            with default_dtype(np.dtype(config.dtype)):
+                self.encoder = GroupEncoder(
+                    graph.n_features, config.hidden_dim, config.embedding_dim, rng=parameter_rng
+                )
+                self.statistics_network = MINEStatisticsNetwork(
+                    config.embedding_dim, config.hidden_dim, rng=parameter_rng
+                )
+                optimizer = Adam(
+                    self.encoder.parameters() + self.statistics_network.parameters(),
+                    lr=config.learning_rate,
+                    weight_decay=config.weight_decay,
+                )
 
-            subgraphs = self._group_subgraphs(graph, groups)
-            positive_views, negative_views = self._generate_views(subgraphs)
-
-            self.training_result = TPGCLTrainingResult()
-            stopper = EarlyStopping(config.patience, config.min_delta)
-            indices = np.arange(len(groups))
-            for epoch in range(config.epochs):
-                if epoch > 0 and config.view_refresh_every > 0 and epoch % config.view_refresh_every == 0:
+                subgraphs = self._group_subgraphs(graph, groups)
+                with tracer.span("tpgcl.augment") as view_span:
                     positive_views, negative_views = self._generate_views(subgraphs)
+                    view_span.add("n_views", 2 * len(subgraphs))
 
-                self._rng.shuffle(indices)
-                batch_size = min(config.batch_size, len(groups))
-                epoch_losses = []
-                for start in range(0, len(indices), batch_size):
-                    batch = indices[start : start + batch_size]
-                    if len(batch) < 2:
-                        continue
-                    optimizer.zero_grad()
-                    positive_batch = self.encoder.encode_batch(
-                        [positive_views[i] for i in batch], batched=config.batch_views
-                    )
-                    negative_batch = self.encoder.encode_batch(
-                        [negative_views[i] for i in batch], batched=config.batch_views
-                    )
-                    # Eqn. (8): minimise the estimated MI between view embeddings.
-                    loss = mine_mutual_information(self.statistics_network, positive_batch, negative_batch)
-                    loss.backward()
-                    optimizer.step()
-                    epoch_losses.append(loss.item())
-                if epoch_losses:
-                    epoch_loss = float(np.mean(epoch_losses))
-                    self.training_result.losses.append(epoch_loss)
-                    if stopper.should_stop(epoch_loss):
-                        self.training_result.early_stopped = True
-                        break
+                self.training_result = TPGCLTrainingResult()
+                stopper = EarlyStopping(config.patience, config.min_delta)
+                indices = np.arange(len(groups))
+                for epoch in range(config.epochs):
+                    if epoch > 0 and config.view_refresh_every > 0 and epoch % config.view_refresh_every == 0:
+                        with tracer.span("tpgcl.augment") as view_span:
+                            positive_views, negative_views = self._generate_views(subgraphs)
+                            view_span.add("n_views", 2 * len(subgraphs))
+
+                    with tracer.span("tpgcl.epoch") as epoch_span:
+                        self._rng.shuffle(indices)
+                        batch_size = min(config.batch_size, len(groups))
+                        epoch_losses = []
+                        for start in range(0, len(indices), batch_size):
+                            batch = indices[start : start + batch_size]
+                            if len(batch) < 2:
+                                continue
+                            optimizer.zero_grad()
+                            positive_batch = self.encoder.encode_batch(
+                                [positive_views[i] for i in batch], batched=config.batch_views
+                            )
+                            negative_batch = self.encoder.encode_batch(
+                                [negative_views[i] for i in batch], batched=config.batch_views
+                            )
+                            # Eqn. (8): minimise the estimated MI between view embeddings.
+                            loss = mine_mutual_information(self.statistics_network, positive_batch, negative_batch)
+                            loss.backward()
+                            optimizer.step()
+                            epoch_losses.append(loss.item())
+                            fit_span.add("optimizer_steps")
+                        if epoch_losses:
+                            epoch_loss = float(np.mean(epoch_losses))
+                            self.training_result.losses.append(epoch_loss)
+                            if tracer.enabled:
+                                epoch_span.set("loss", epoch_loss)
+                            if stopper.should_stop(epoch_loss):
+                                self.training_result.early_stopped = True
+                                break
+            if tracer.enabled:
+                fit_span.add("tape_node_count", tape_node_count() - tape_before)
+                fit_span.set("epochs_run", self.training_result.epochs_run)
+                fit_span.set("early_stopped", self.training_result.early_stopped)
         return self
 
     # ------------------------------------------------------------------

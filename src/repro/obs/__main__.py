@@ -1,0 +1,157 @@
+"""Trace/provenance tooling: ``python -m repro.obs <command>``.
+
+* ``summarize TRACE.jsonl`` — per-stage time breakdown of one trace:
+  span count, total/mean/p95 duration, share of root wall time, and
+  aggregated counters.
+* ``diff A.jsonl B.jsonl`` — stage-by-stage comparison of two traces
+  for regression triage (new/vanished stages, total-time deltas).
+* ``verify --log provenance.jsonl --artifact DIR`` — replay every
+  logged response against the artifact and check score digests
+  bit-for-bit (see :mod:`repro.obs.provenance`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.provenance import read_log, verify_log
+from repro.obs.stats import percentile
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["build_parser", "diff_summaries", "main", "render_diff", "render_summary", "summarize_spans"]
+
+
+def summarize_spans(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Aggregate spans by name; rows sorted by total time, descending."""
+    known = {span.span_id for span in spans}
+    root_wall = sum(
+        span.duration_s for span in spans if span.parent_id is None or span.parent_id not in known
+    )
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        row = by_name.setdefault(
+            span.name, {"name": span.name, "count": 0, "durations": [], "counters": {}}
+        )
+        row["count"] += 1
+        row["durations"].append(span.duration_s)
+        for key, value in span.counters.items():
+            row["counters"][key] = row["counters"].get(key, 0) + value
+    rows = []
+    for row in by_name.values():
+        durations = row.pop("durations")
+        total = sum(durations)
+        rows.append(
+            {
+                "name": row["name"],
+                "count": row["count"],
+                "total_s": total,
+                "mean_ms": (total / len(durations)) * 1e3 if durations else 0.0,
+                "p95_ms": percentile(durations, 95) * 1e3,
+                "share_pct": (total / root_wall * 100.0) if root_wall > 0 else 0.0,
+                "counters": row["counters"],
+            }
+        )
+    rows.sort(key=lambda r: r["total_s"], reverse=True)
+    return rows
+
+
+def render_summary(rows: Sequence[Dict[str, Any]], trace_id: str = "") -> str:
+    header = f"{'span':<28} {'count':>6} {'total_s':>9} {'mean_ms':>9} {'p95_ms':>9} {'share%':>7}  counters"
+    lines = [f"trace {trace_id}" if trace_id else "trace", header, "-" * len(header)]
+    for row in rows:
+        counters = " ".join(f"{k}={v:g}" for k, v in sorted(row["counters"].items()))
+        lines.append(
+            f"{row['name']:<28} {row['count']:>6} {row['total_s']:>9.3f} "
+            f"{row['mean_ms']:>9.2f} {row['p95_ms']:>9.2f} {row['share_pct']:>6.1f}%  {counters}"
+        )
+    return "\n".join(lines)
+
+
+def diff_summaries(
+    a_rows: Sequence[Dict[str, Any]], b_rows: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Stage-level deltas between two summaries (B relative to A)."""
+    a_by = {row["name"]: row for row in a_rows}
+    b_by = {row["name"]: row for row in b_rows}
+    out = []
+    for name in sorted(set(a_by) | set(b_by)):
+        a = a_by.get(name)
+        b = b_by.get(name)
+        a_total = a["total_s"] if a else 0.0
+        b_total = b["total_s"] if b else 0.0
+        delta = b_total - a_total
+        out.append(
+            {
+                "name": name,
+                "a_total_s": a_total,
+                "b_total_s": b_total,
+                "delta_s": delta,
+                "delta_pct": (delta / a_total * 100.0) if a_total > 0 else float("inf"),
+                "a_count": a["count"] if a else 0,
+                "b_count": b["count"] if b else 0,
+                "status": "only-in-b" if a is None else ("only-in-a" if b is None else "both"),
+            }
+        )
+    out.sort(key=lambda r: abs(r["delta_s"]), reverse=True)
+    return out
+
+
+def render_diff(rows: Sequence[Dict[str, Any]]) -> str:
+    header = f"{'span':<28} {'a_total_s':>10} {'b_total_s':>10} {'delta_s':>9} {'delta%':>8} {'a#':>5} {'b#':>5}  note"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        pct = f"{row['delta_pct']:+7.1f}%" if row["delta_pct"] != float("inf") else "     new"
+        note = "" if row["status"] == "both" else row["status"]
+        lines.append(
+            f"{row['name']:<28} {row['a_total_s']:>10.3f} {row['b_total_s']:>10.3f} "
+            f"{row['delta_s']:>+9.3f} {pct} {row['a_count']:>5} {row['b_count']:>5}  {note}"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect JSONL traces and verify provenance logs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser("summarize", help="per-stage time breakdown of a trace")
+    summarize.add_argument("trace", help="JSONL trace file (Tracer.dump_jsonl)")
+
+    diff = commands.add_parser("diff", help="compare two traces stage by stage")
+    diff.add_argument("trace_a", help="baseline trace")
+    diff.add_argument("trace_b", help="candidate trace")
+
+    verify = commands.add_parser("verify", help="replay a provenance log against an artifact")
+    verify.add_argument("--log", required=True, help="provenance JSONL file")
+    verify.add_argument("--artifact", required=True, help="pipeline artifact directory")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "summarize":
+        spans = Tracer.load_jsonl(args.trace)
+        trace_id = spans[0].trace_id if spans else ""
+        print(render_summary(summarize_spans(spans), trace_id=trace_id))
+        print(f"{len(spans)} spans")
+        return 0
+    if args.command == "diff":
+        a = summarize_spans(Tracer.load_jsonl(args.trace_a))
+        b = summarize_spans(Tracer.load_jsonl(args.trace_b))
+        print(render_diff(diff_summaries(a, b)))
+        return 0
+    records = read_log(args.log)
+    results = verify_log(args.log, args.artifact, records=records)
+    failures = [result for result in results if not result.ok]
+    for result in results:
+        print(result.describe())
+    print(f"{len(results) - len(failures)}/{len(results)} records verified")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

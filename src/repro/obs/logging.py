@@ -1,0 +1,64 @@
+"""Structured stdlib logging with trace-id correlation.
+
+:func:`setup_logging` configures the ``repro`` logger hierarchy with a
+single stream handler whose formatter includes a ``trace_id`` field;
+:class:`TraceContextFilter` resolves it from the active tracer at emit
+time, so any log line written inside a traced operation carries the id
+needed to find the matching spans in a JSONL trace dump (``-`` when
+tracing is off).  CLIs (``repro.serve``, ``repro.parallel``,
+``repro.stream``) use this instead of bare prints for operational
+events; data output (tables, per-graph result lines) stays on stdout.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+from repro.obs.tracer import current_span_id, current_trace_id
+
+__all__ = ["TraceContextFilter", "get_logger", "setup_logging"]
+
+LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s [trace=%(trace_id)s] %(message)s"
+_ROOT_LOGGER = "repro"
+
+
+class TraceContextFilter(logging.Filter):
+    """Injects ``trace_id`` / ``span_id`` fields into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.trace_id = current_trace_id() or "-"
+        record.span_id = current_span_id() or "-"
+        return True
+
+
+def setup_logging(
+    level: Union[int, str] = logging.INFO,
+    stream: Optional[IO[str]] = None,
+    fmt: str = LOG_FORMAT,
+) -> logging.Logger:
+    """Configure the ``repro`` logger; idempotent, returns the logger.
+
+    Repeated calls replace the previously installed handler (so tests
+    can redirect ``stream``) without stacking duplicates.
+    """
+    logger = logging.getLogger(_ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter(fmt))
+    handler.addFilter(TraceContextFilter())
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``repro.<name>`` unless given fully)."""
+    if name == _ROOT_LOGGER or name.startswith(_ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_LOGGER}.{name}")

@@ -1,0 +1,85 @@
+"""Shared latency statistics: bounded window, percentiles, qps.
+
+One implementation used by both the serve layer
+(:class:`repro.serve.metrics.ServerMetrics`) and the stream replay
+driver (:class:`repro.stream.replay.ReplaySummary`), which previously
+each carried their own percentile math.  Keeping the numerics here —
+``np.percentile`` with its default linear interpolation, ``0.0`` for an
+empty sample — guarantees the two surfaces report identical figures for
+identical inputs (guarded by ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LatencyWindow", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """``np.percentile`` with the project-wide empty-sample convention."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+class LatencyWindow:
+    """Bounded sliding window of ``(timestamp, seconds)`` samples.
+
+    The window holds the most recent ``maxlen`` observations;
+    timestamps come from whatever monotonic clock the caller uses and
+    only ever enter qps math as differences.  Thread-safe: every method
+    takes the internal lock, and callers that already serialize access
+    (e.g. ``ServerMetrics``) simply pay an uncontended acquire.
+    """
+
+    def __init__(self, maxlen: int = 1024) -> None:
+        self.maxlen = int(maxlen)
+        self._lock = threading.Lock()
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=self.maxlen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def record(self, seconds: float, at: float) -> None:
+        """Append one latency sample observed at monotonic time ``at``."""
+        with self._lock:
+            self._samples.append((at, float(seconds)))
+
+    def values(self) -> List[float]:
+        """Latency values (seconds) currently in the window, oldest first."""
+        with self._lock:
+            return [seconds for _, seconds in self._samples]
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values(), q)
+
+    def percentiles_ms(self, qs: Sequence[float] = (50, 95)) -> Dict[str, float]:
+        """``{"p50_latency_ms": ..., ...}`` rounded to 3 decimals (µs)."""
+        values = self.values()
+        out: Dict[str, float] = {}
+        for q in qs:
+            key = f"p{q:g}_latency_ms"
+            out[key] = round(percentile(values, q) * 1e3, 3) if values else 0.0
+        return out
+
+    def window_qps(self, now: Optional[float] = None) -> float:
+        """Throughput over the window span; ``0.0`` with <2 samples.
+
+        With ``now`` given, the span runs from the oldest sample to
+        ``now`` (rate *including* the idle tail); otherwise from oldest
+        to newest sample.
+        """
+        with self._lock:
+            if len(self._samples) < 2:
+                return 0.0
+            oldest = self._samples[0][0]
+            newest = self._samples[-1][0] if now is None else now
+            span = max(newest - oldest, 1e-9)
+            count = len(self._samples)
+        return count / span

@@ -1,0 +1,323 @@
+"""Nested-span tracer with :mod:`contextvars` propagation.
+
+The tracer is a process-global singleton selected with
+:func:`set_tracer` / :func:`use_tracer`; instrumented code asks for it
+via :func:`get_tracer` at call time, so enabling tracing never requires
+threading a handle through APIs.  The *current* span, however, lives in
+a :class:`contextvars.ContextVar`: every asyncio task and every
+``contextvars.copy_context().run(...)`` callback sees its own parent
+chain, which is what lets spans opened inside the serve micro-batcher's
+executor thread nest under the batch that scheduled them.
+
+By default the global tracer is the shared :data:`NULL_TRACER`, whose
+``span``/``add`` methods are no-ops returning a reusable context
+manager — the disabled hot path costs one module-dict lookup plus a
+``with`` statement, measured and pinned in
+``benchmarks/test_obs_overhead.py``.  Instrumentation never touches any
+RNG, so results are bit-identical whether tracing is on or off.
+
+Process-pool workers cannot share the parent's tracer memory; they run
+a private :class:`Tracer` seeded with the parent's ``trace_id`` and the
+scheduling span's id, dump their spans to a per-shard JSONL file, and
+the parent merges the shards back with :meth:`Tracer.ingest` (see
+``repro.parallel.executor``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_span_id",
+    "current_trace_id",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+# The open span for the *current* context (asyncio task, copied context in
+# an executor thread, or plain thread).  Each thread starts from an empty
+# context, so spans opened on different threads form independent chains
+# unless the caller explicitly copies its context across.
+_CURRENT_SPAN: "contextvars.ContextVar[Optional[_SpanHandle]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    started_unix: float
+    duration_s: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_unix": self.started_unix,
+            "duration_s": self.duration_s,
+        }
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            name=payload["name"],
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            started_unix=float(payload.get("started_unix", 0.0)),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            counters=dict(payload.get("counters", {})),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class _SpanHandle:
+    """Context manager owning one open :class:`Span`."""
+
+    __slots__ = ("span", "_tracer", "_token", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.span = span
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._token = _CURRENT_SPAN.set(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.duration_s = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            try:
+                _CURRENT_SPAN.reset(self._token)
+            except ValueError:  # pragma: no cover - exited from a foreign context
+                _CURRENT_SPAN.set(None)
+        self._tracer._record(self.span)
+        return False
+
+    def add(self, name: str, value: Union[int, float] = 1) -> None:
+        """Increment a counter on this span."""
+        counters = self.span.counters
+        counters[name] = counters.get(name, 0) + value
+
+    def set(self, name: str, value: Any) -> None:
+        """Attach a key/value attribute to this span."""
+        self.span.attrs[name] = value
+
+
+class _NullSpanHandle:
+    """Reusable no-op stand-in for :class:`_SpanHandle`."""
+
+    __slots__ = ()
+    span = None
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, name: str, value: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, name: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) is the process
+    default, so instrumented code pays only ``get_tracer().span(...)``
+    on a reusable object — no allocation, no locking, no RNG.
+    """
+
+    enabled = False
+    trace_id = ""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: Union[int, float] = 1) -> None:
+        pass
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects finished spans in memory; thread-safe.
+
+    Parameters
+    ----------
+    trace_id:
+        Inherited when a worker process continues a parent's trace;
+        freshly generated otherwise.
+    parent_span_id:
+        Default parent for root spans opened under this tracer —
+        used by process-pool shards so their chunk spans nest under
+        the scheduling span in the parent process.
+    max_spans:
+        Bounded retention; spans beyond the cap are counted in
+        :attr:`dropped` instead of growing memory without limit.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
+        max_spans: int = 100_000,
+    ) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.parent_span_id = parent_span_id
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+        self._prefix = uuid.uuid4().hex[:8]
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        parent = _CURRENT_SPAN.get()
+        parent_id = parent.span.span_id if parent is not None else self.parent_span_id
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=f"{self._prefix}-{next(self._seq):x}",
+            parent_id=parent_id,
+            started_unix=time.time(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        return _SpanHandle(self, span)
+
+    def add(self, name: str, value: Union[int, float] = 1) -> None:
+        """Increment a counter on the current context's open span."""
+        handle = _CURRENT_SPAN.get()
+        if handle is not None:
+            handle.add(name, value)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    # -- inspection / merge --------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def ingest(self, spans: Iterable[Span]) -> int:
+        """Merge spans from another tracer (e.g. a worker shard)."""
+        merged = 0
+        with self._lock:
+            for span in spans:
+                if len(self._spans) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                self._spans.append(span)
+                merged += 1
+        return merged
+
+    # -- persistence ----------------------------------------------------
+    def dump_jsonl(self, path: str) -> str:
+        """Write one span per line; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_json_dict(), sort_keys=True) + "\n")
+        return path
+
+    @staticmethod
+    def load_jsonl(path: str) -> List[Span]:
+        spans: List[Span] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(Span.from_json_dict(json.loads(line)))
+        return spans
+
+
+_ACTIVE: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-global tracer (the shared no-op one by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[Union[Tracer, NullTracer]]) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` globally (``None`` restores the null tracer)."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return _ACTIVE
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Union[Tracer, NullTracer]]) -> Iterator[Union[Tracer, NullTracer]]:
+    """Scoped :func:`set_tracer`; restores the previous tracer on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the active tracer, ``None`` when tracing is off."""
+    return _ACTIVE.trace_id if _ACTIVE.enabled else None
+
+
+def current_span_id() -> Optional[str]:
+    """Span id of the innermost open span in this context, if any."""
+    handle = _CURRENT_SPAN.get()
+    if handle is not None and handle.span is not None:
+        return handle.span.span_id
+    if isinstance(_ACTIVE, Tracer):
+        return _ACTIVE.parent_span_id
+    return None

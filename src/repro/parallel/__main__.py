@@ -22,8 +22,12 @@ from repro.core import TPGrGAD, TPGrGADConfig
 from repro.datasets import load_dataset
 from repro.gae import MHGAEConfig
 from repro.gcl import TPGCLConfig
+from repro.obs.logging import get_logger, setup_logging
+from repro.obs.tracer import Tracer, use_tracer
 from repro.parallel import ParallelExecutor, default_worker_count
 from repro.sampling import SamplerConfig
+
+log = get_logger("parallel")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -56,10 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="broadcast a saved artifact; workers serve warm detect_only")
     detect.add_argument("--json", metavar="PATH", default=None,
                         help="write per-graph result summaries as JSON")
+    detect.add_argument("--trace", metavar="PATH", default=None,
+                        help="trace the sharded run (incl. worker spans) and dump JSONL")
 
     fit = commands.add_parser("fit", help="train on one dataset and save the model artifact")
     _add_common(fit)
     fit.add_argument("--out", required=True, help="artifact directory to write")
+    fit.add_argument("--trace", metavar="PATH", default=None,
+                        help="trace the fit (pipeline/gae/tpgcl spans) and dump JSONL")
 
     experiments = commands.add_parser("experiments", help="shard the experiment registry")
     experiments.add_argument("names", nargs="+", help="experiment names (or 'all')")
@@ -95,8 +103,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         derive_seeds=args.derive_seeds,
         artifact=args.artifact,
     )
+    tracer = Tracer() if args.trace else None
     start = time.perf_counter()
-    results = executor.fit_detect_many(graphs, threshold=args.threshold)
+    if tracer is not None:
+        with use_tracer(tracer):
+            results = executor.fit_detect_many(graphs, threshold=args.threshold)
+    else:
+        results = executor.fit_detect_many(graphs, threshold=args.threshold)
     elapsed = time.perf_counter() - start
 
     for i, (graph, result) in enumerate(zip(graphs, results)):
@@ -106,10 +119,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"threshold {result.threshold:.4f}"
         )
     mode = "warm detect_only" if args.artifact else "fit_detect"
-    print(
-        f"{len(graphs)} graphs via {mode} on {args.n_workers} workers in {elapsed:.1f}s "
-        f"(cache: {executor.cache_hits} hits / {executor.cache_misses} misses)"
+    log.info(
+        "%d graphs via %s on %d workers in %.1fs (cache: %d hits / %d misses)",
+        len(graphs), mode, args.n_workers, elapsed,
+        executor.cache_hits, executor.cache_misses,
     )
+    if tracer is not None:
+        tracer.dump_jsonl(args.trace)
+        log.info("wrote %d spans (trace %s) to %s", len(tracer.spans), tracer.trace_id, args.trace)
     if args.json:
         from repro.persist import dump_json
 
@@ -123,21 +140,30 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 "results": [result.to_json_dict() for result in results],
             },
         )
-        print(f"wrote {args.json}")
+        log.info("wrote %s", args.json)
     return 0
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     detector = TPGrGAD(pipeline_config(args))
+    tracer = Tracer() if args.trace else None
     start = time.perf_counter()
-    result = detector.fit_detect(graph)
+    if tracer is not None:
+        with use_tracer(tracer):
+            result = detector.fit_detect(graph)
+    else:
+        result = detector.fit_detect(graph)
     path = detector.save(args.out)
-    print(
-        f"fitted '{args.dataset}' ({graph.n_nodes} nodes) in {time.perf_counter() - start:.1f}s: "
-        f"{result.n_candidates} candidates, {result.n_anomalous} flagged"
+    log.info(
+        "fitted '%s' (%d nodes) in %.1fs: %d candidates, %d flagged",
+        args.dataset, graph.n_nodes, time.perf_counter() - start,
+        result.n_candidates, result.n_anomalous,
     )
-    print(f"saved artifact to {path}")
+    log.info("saved artifact to %s", path)
+    if tracer is not None:
+        tracer.dump_jsonl(args.trace)
+        log.info("wrote %d spans (trace %s) to %s", len(tracer.spans), tracer.trace_id, args.trace)
     return 0
 
 
@@ -159,13 +185,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     for name, _records, rendered in executor.run_experiments(names, settings):
         print(rendered)
-        print(f"[{name} done]\n")
-    print(f"[{len(names)} experiments on {args.n_workers} workers in {time.perf_counter() - start:.1f}s]")
+        log.info("[%s done]", name)
+    log.info(
+        "[%d experiments on %d workers in %.1fs]",
+        len(names), args.n_workers, time.perf_counter() - start,
+    )
     return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging()
     if args.command == "detect":
         return _cmd_detect(args)
     if args.command == "fit":

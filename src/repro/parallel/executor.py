@@ -36,6 +36,8 @@ from __future__ import annotations
 import copy
 import math
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -43,6 +45,7 @@ from repro.core.config import TPGrGADConfig
 from repro.core.pipeline import TPGrGAD
 from repro.core.result import GroupDetectionResult
 from repro.graph import Graph
+from repro.obs.tracer import Tracer, current_span_id, get_tracer, use_tracer
 from repro.seeding import spawn_seeds
 
 
@@ -64,6 +67,7 @@ def _worker_fit_detect(
     seeds: Optional[List[int]],
     artifact_path: Optional[str],
     state_index: Optional[int] = None,
+    trace: Optional[Tuple[str, str, Optional[str], int]] = None,
 ) -> Tuple[List[GroupDetectionResult], int, int, Optional[object]]:
     """Score one chunk; returns (results, cache_hits, cache_misses, state).
 
@@ -73,8 +77,25 @@ def _worker_fit_detect(
     plain arrays).  The parent warm-binds it so the serial post-fit
     contract — the caller's detector exposes the models that scored the
     batch's last graph — survives sharding.
+
+    ``trace`` is ``(shard_dir, trace_id, parent_span_id, chunk_index)``:
+    tracer memory cannot cross the process boundary, so a traced parent
+    asks each worker to run under a private :class:`Tracer` continuing
+    the parent's trace id and to dump its spans to a per-shard JSONL
+    file in ``shard_dir``; the parent merges the shards afterwards.
     """
     from repro.persist import PipelineState
+
+    if trace is not None:
+        shard_dir, trace_id, parent_span_id, chunk_index = trace
+        tracer = Tracer(trace_id=trace_id, parent_span_id=parent_span_id)
+        with use_tracer(tracer):
+            with tracer.span("parallel.chunk", chunk=chunk_index, n_graphs=len(graphs)):
+                output = _worker_fit_detect(
+                    config, graphs, threshold, seeds, artifact_path, state_index, None
+                )
+        tracer.dump_jsonl(os.path.join(shard_dir, f"shard-{chunk_index:05d}.jsonl"))
+        return output
 
     if artifact_path is not None:
         detector = TPGrGAD.load(artifact_path)
@@ -224,24 +245,45 @@ class ParallelExecutor:
         # The unique graph whose fitted models the caller must end up
         # holding: the one the batch's *last* item resolved to.
         final_unique = assignment[-1] if self.artifact is None else None
-        tasks = [
-            (
-                self.config,
-                unique[start:end],
-                threshold,
-                None if seeds is None else seeds[start:end],
-                self.artifact,
-                final_unique - start if final_unique is not None and start <= final_unique < end else None,
-            )
-            for start, end in bounds
-        ]
+        tracer = get_tracer()
+        use_pool = self.n_workers > 1 and len(bounds) > 1
+        # The in-process path records into the global tracer directly;
+        # only real pool shards need the JSONL hand-off.
+        shard_dir = tempfile.mkdtemp(prefix="repro-trace-") if tracer.enabled and use_pool else None
+        with tracer.span("parallel.fit_detect_many") as span:
+            if tracer.enabled:
+                span.set("n_graphs", len(graphs))
+                span.set("n_unique", len(unique))
+                span.set("n_workers", self.n_workers)
+            parent_span_id = current_span_id()
+            tasks = [
+                (
+                    self.config,
+                    unique[start:end],
+                    threshold,
+                    None if seeds is None else seeds[start:end],
+                    self.artifact,
+                    final_unique - start if final_unique is not None and start <= final_unique < end else None,
+                    (shard_dir, tracer.trace_id, parent_span_id, chunk)
+                    if shard_dir is not None
+                    else None,
+                )
+                for chunk, (start, end) in enumerate(bounds)
+            ]
 
-        if self.n_workers <= 1 or len(tasks) <= 1:
-            shard_outputs = [_worker_fit_detect(*task) for task in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=min(self.n_workers, len(tasks))) as pool:
-                futures = [pool.submit(_worker_fit_detect, *task) for task in tasks]
-                shard_outputs = [future.result() for future in futures]
+            try:
+                if not use_pool:
+                    shard_outputs = [_worker_fit_detect(*task) for task in tasks]
+                else:
+                    with ProcessPoolExecutor(max_workers=min(self.n_workers, len(tasks))) as pool:
+                        futures = [pool.submit(_worker_fit_detect, *task) for task in tasks]
+                        shard_outputs = [future.result() for future in futures]
+                if shard_dir is not None:
+                    for name in sorted(os.listdir(shard_dir)):
+                        tracer.ingest(Tracer.load_jsonl(os.path.join(shard_dir, name)))
+            finally:
+                if shard_dir is not None:
+                    shutil.rmtree(shard_dir, ignore_errors=True)
 
         unique_results: List[GroupDetectionResult] = []
         self.final_state = None

@@ -6,6 +6,11 @@ interrupted.  Artifacts are given as ``--artifact PATH`` (model name
 defaults to the directory's basename; the first one becomes the default
 model) or ``--artifact NAME=PATH``.  More models can be loaded — or
 existing ones hot-swapped — at runtime via ``POST /models``.
+
+Operational events (model loads, bind address, shutdown) go through
+:mod:`repro.obs.logging`, so each line carries the active trace id when
+``--trace`` is on.  ``--provenance-log PATH`` appends one provenance
+record per scored response; ``python -m repro.obs verify`` replays them.
 """
 
 from __future__ import annotations
@@ -16,9 +21,13 @@ import sys
 from pathlib import Path
 from typing import List, Tuple
 
+from repro.obs.logging import get_logger, setup_logging
+from repro.obs.tracer import Tracer, set_tracer
 from repro.serve.batcher import ServeConfig
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ScoringServer
+
+log = get_logger("serve")
 
 
 def _parse_artifact(spec: str) -> Tuple[str, str]:
@@ -50,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default per-request deadline budget (none if omitted)")
     parser.add_argument("--workers", type=int, default=1,
                         help="shard large distinct-graph batches over this many processes")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record request/batch/score spans and dump them as JSONL on shutdown")
+    parser.add_argument("--provenance-log", metavar="PATH", default=None,
+                        help="append one provenance record per scored response (JSONL)")
+    parser.add_argument("--provenance-include-graph", action="store_true",
+                        help="embed the scored graph in each provenance record "
+                             "(self-contained replay via `python -m repro.obs verify`)")
+    parser.add_argument("--log-level", default="INFO",
+                        help="stdlib logging level for operational events (default INFO)")
     return parser
 
 
@@ -58,8 +76,11 @@ async def _serve(args: argparse.Namespace) -> int:
     for spec in args.artifact:
         name, path = _parse_artifact(spec)
         entry = registry.load(name, path)
-        print(f"loaded model '{entry.name}' v{entry.version} from {entry.path} "
-              f"(config {entry.config_hash[:12]}, fitted on {str(entry.state.graph_fingerprint)[:12]})")
+        log.info(
+            "loaded model '%s' v%d from %s (config %s, fitted on %s)",
+            entry.name, entry.version, entry.path,
+            entry.config_hash[:12], str(entry.state.graph_fingerprint)[:12],
+        )
 
     config = ServeConfig(
         max_batch=args.max_batch,
@@ -67,27 +88,43 @@ async def _serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         default_timeout_ms=args.timeout_ms,
         n_workers=args.workers,
+        provenance_path=args.provenance_log,
+        provenance_include_graph=args.provenance_include_graph,
     )
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        set_tracer(tracer)
+        log.info("tracing enabled (trace %s -> %s)", tracer.trace_id, args.trace)
+    if args.provenance_log:
+        log.info("provenance log: %s (include_graph=%s)",
+                 args.provenance_log, args.provenance_include_graph)
     server = ScoringServer(registry, config)
     port = await server.start(args.host, args.port)
-    print(f"serving on http://{args.host}:{port}  "
-          f"(POST /score, GET /models, GET /healthz, GET /metrics; "
-          f"max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms})")
+    log.info(
+        "serving on http://%s:%d (POST /score, GET /models, GET /healthz, GET /metrics; "
+        "max_batch=%d, max_wait_ms=%s)",
+        args.host, port, config.max_batch, config.max_wait_ms,
+    )
     try:
         await server.serve_forever()
     except asyncio.CancelledError:  # pragma: no cover - signal-driven teardown
         pass
     finally:
         await server.stop()
+        if tracer is not None:
+            tracer.dump_jsonl(args.trace)
+            log.info("wrote %d spans to %s", len(tracer.spans), args.trace)
     return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level)
     try:
         return asyncio.run(_serve(args))
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
-        print("shutting down")
+        log.info("shutting down")
         return 0
 
 

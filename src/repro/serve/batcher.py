@@ -30,14 +30,18 @@ scorer time on an answer nobody is waiting for.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph import Graph
+from repro.obs.provenance import ProvenanceLog, build_record, score_digest
+from repro.obs.tracer import get_tracer
 from repro.serve.metrics import ServerMetrics
 from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.tensor import tape_node_count
 
 #: Request modes: warm inference on the loaded artifact weights (default)
 #: vs a cold, from-scratch fit with the artifact's config.
@@ -78,6 +82,14 @@ class ServeConfig:
     ``parallel_min_graphs`` *distinct* graphs across a process pool via
     :class:`repro.parallel.ParallelExecutor` (worth it only when single
     scores are expensive — each dispatch pays pool startup).
+
+    ``provenance_path`` turns on the per-response provenance log (see
+    :mod:`repro.obs.provenance`): every successful ``/score`` response
+    appends one JSONL record tying it to the model version, config hash,
+    graph fingerprint and a bit-exact score digest.
+    ``provenance_include_graph`` embeds the scored graph in each record,
+    making the log self-contained for offline replay verification (at
+    the cost of log size).
     """
 
     max_batch: int = 16
@@ -88,6 +100,8 @@ class ServeConfig:
     n_workers: int = 1
     parallel_min_graphs: int = 4
     max_body_bytes: int = 64 * 1024 * 1024
+    provenance_path: Optional[str] = None
+    provenance_include_graph: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -123,6 +137,9 @@ class MicroBatcher:
         self.registry = registry
         self.config = config or ServeConfig()
         self.metrics = metrics or ServerMetrics()
+        self.provenance: Optional[ProvenanceLog] = (
+            ProvenanceLog(self.config.provenance_path) if self.config.provenance_path else None
+        )
         self._queue: Optional["asyncio.Queue[_Pending]"] = None
         self._task: Optional["asyncio.Task"] = None
 
@@ -141,6 +158,8 @@ class MicroBatcher:
             except asyncio.CancelledError:
                 pass
             self._task = None
+        if self.provenance is not None:
+            self.provenance.close()
 
     # ------------------------------------------------------------------
     # Admission
@@ -214,8 +233,16 @@ class MicroBatcher:
             batch = await self._collect_batch()
             # Score in a worker thread so /healthz and admission stay
             # responsive during a long batch; the loop itself remains the
-            # single consumer, so batches never overlap.
-            outcomes = await loop.run_in_executor(None, self._process, batch)
+            # single consumer, so batches never overlap.  The batch span
+            # is opened here on the event loop and the context copied
+            # into the executor thread, so the pipeline spans _process
+            # opens over there nest under it.
+            tracer = get_tracer()
+            with tracer.span("serve.batch") as span:
+                context = contextvars.copy_context()
+                outcomes = await loop.run_in_executor(None, context.run, self._process, batch)
+                if tracer.enabled:
+                    span.set("n_requests", len(batch))
             now = time.monotonic()
             for pending, outcome in outcomes:
                 if pending.future.cancelled():
@@ -285,36 +312,67 @@ class MicroBatcher:
             unique.setdefault(key, pending.graph)
         graphs = list(unique.values())
 
-        if mode == "fit_detect":
-            # Cold fits route through the entry's dedicated fit pipeline:
-            # fit_detect_many's per-(fingerprint, config-hash) LRU cache
-            # persists across micro-batches, so repeats skip training.
-            results = entry.fit_detector.fit_detect_many(graphs, threshold=threshold)
-        elif self.config.n_workers > 1 and len(graphs) >= self.config.parallel_min_graphs:
-            from repro.parallel import ParallelExecutor
+        tracer = get_tracer()
+        with tracer.span("serve.score_group", model=entry.name, mode=mode) as span:
+            # Tape growth is thread-local and this whole group scores on
+            # this executor thread, so the delta attributes the autodiff
+            # cost (which must be ~0 for warm detect_only) to the entry.
+            tape_before = tape_node_count()
+            if mode == "fit_detect":
+                # Cold fits route through the entry's dedicated fit pipeline:
+                # fit_detect_many's per-(fingerprint, config-hash) LRU cache
+                # persists across micro-batches, so repeats skip training.
+                results = entry.fit_detector.fit_detect_many(graphs, threshold=threshold)
+            elif self.config.n_workers > 1 and len(graphs) >= self.config.parallel_min_graphs:
+                from repro.parallel import ParallelExecutor
 
-            executor = ParallelExecutor(
-                entry.state.config, n_workers=self.config.n_workers, artifact=entry.path
-            )
-            results = executor.fit_detect_many(graphs, threshold=threshold)
-        else:
-            results = [entry.detector.detect_only(graph, threshold=threshold) for graph in graphs]
+                executor = ParallelExecutor(
+                    entry.state.config, n_workers=self.config.n_workers, artifact=entry.path
+                )
+                results = executor.fit_detect_many(graphs, threshold=threshold)
+            else:
+                results = [entry.detector.detect_only(graph, threshold=threshold) for graph in graphs]
+            tape_delta = tape_node_count() - tape_before
+            if tracer.enabled:
+                span.add("tape_node_count", tape_delta)
+                span.set("n_unique", len(graphs))
+                span.set("group_size", len(members))
+        entry.record_served(len(members), tape_delta)
 
         by_key = {key: result.to_json_dict() for key, result in zip(unique, results)}
+        trace_id = tracer.trace_id if tracer.enabled else None
+        digests: Dict[str, str] = {}
+        if self.provenance is not None:
+            digests = {key: score_digest(result_json) for key, result_json in by_key.items()}
         scored: List[Tuple[_Pending, Dict]] = []
         for pending, key in zip(members, keys):
-            scored.append(
-                (
-                    pending,
-                    {
-                        "model": entry.name,
-                        "version": entry.version,
-                        "config_hash": entry.config_hash,
-                        "mode": mode,
-                        "graph_fingerprint": key,
-                        "batch": {"size": batch_size, "group_size": len(members), "n_unique": len(graphs)},
-                        "result": by_key[key],
-                    },
+            response = {
+                "model": entry.name,
+                "version": entry.version,
+                "config_hash": entry.config_hash,
+                "mode": mode,
+                "graph_fingerprint": key,
+                "batch": {"size": batch_size, "group_size": len(members), "n_unique": len(graphs)},
+                "result": by_key[key],
+            }
+            if trace_id is not None:
+                response["trace_id"] = trace_id
+            if self.provenance is not None:
+                record = build_record(
+                    model=entry.name,
+                    version=entry.version,
+                    config_hash=entry.config_hash,
+                    graph_fingerprint=key,
+                    result_json=by_key[key],
+                    mode=mode,
+                    threshold=threshold,
+                    digest=digests[key],
+                    graph=unique[key] if self.config.provenance_include_graph else None,
                 )
-            )
+                self.provenance.append(record)
+                response["provenance"] = {
+                    "record_id": record["record_id"],
+                    "score_digest": record["score_digest"],
+                }
+            scored.append((pending, response))
         return scored, len(graphs)

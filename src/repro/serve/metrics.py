@@ -7,20 +7,22 @@ scrape never needs to reach into the batcher or the registry.
 
 All updates take a lock: handlers run on the event loop, but batch
 scoring runs in an executor thread and the latency deque / histogram
-must not tear.  The latency window is bounded (a deque), so a long-lived
-server reports recent percentiles rather than its lifetime average and
-the memory footprint stays constant — the unbounded-growth footgun the
-pipeline's own cache counters had is deliberately not reproduced here.
+must not tear.  The latency window is bounded
+(:class:`repro.obs.stats.LatencyWindow` — the same implementation the
+stream replay summary uses, so serve and replay report identical
+percentile math), so a long-lived server reports recent percentiles
+rather than its lifetime average and the memory footprint stays
+constant — the unbounded-growth footgun the pipeline's own cache
+counters had is deliberately not reproduced here.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Dict
 
-import numpy as np
+from repro.obs.stats import LatencyWindow
 
 
 class ServerMetrics:
@@ -42,7 +44,7 @@ class ServerMetrics:
         self.dedup_hits_total = 0  # requests answered by an in-batch duplicate
         self.batch_size_histogram: Dict[int, int] = {}
         # (completed_at_monotonic, seconds) pairs; bounded.
-        self._latencies: Deque[Tuple[float, float]] = deque(maxlen=latency_window)
+        self._latencies = LatencyWindow(maxlen=latency_window)
 
     # ------------------------------------------------------------------
     # Recording
@@ -65,7 +67,7 @@ class ServerMetrics:
         """One successfully scored request, with its queue+score latency."""
         with self._lock:
             self.scored_total += 1
-            self._latencies.append((time.monotonic(), float(latency_seconds)))
+            self._latencies.record(float(latency_seconds), at=time.monotonic())
 
     def record_batch(self, n_requests: int, n_unique: int, n_scored: int) -> None:
         """One micro-batch handed to the scorer (post deadline-filtering).
@@ -86,22 +88,12 @@ class ServerMetrics:
     # Read-out
     # ------------------------------------------------------------------
     def _latency_percentiles(self) -> Dict[str, float]:
-        values = [seconds for _, seconds in self._latencies]
-        if not values:
-            return {"p50_latency_ms": 0.0, "p95_latency_ms": 0.0}
-        return {
-            "p50_latency_ms": round(float(np.percentile(values, 50)) * 1e3, 3),
-            "p95_latency_ms": round(float(np.percentile(values, 95)) * 1e3, 3),
-        }
+        return self._latencies.percentiles_ms((50, 95))
 
     def _qps(self, now: float) -> Dict[str, float]:
         uptime = max(now - self._started_monotonic, 1e-9)
         lifetime = self.scored_total / uptime
-        window = 0.0
-        if len(self._latencies) >= 2:
-            oldest = self._latencies[0][0]
-            span = max(now - oldest, 1e-9)
-            window = len(self._latencies) / span
+        window = self._latencies.window_qps(now)
         return {"qps_lifetime": round(lifetime, 3), "qps_window": round(window, 3)}
 
     def snapshot(self) -> Dict:

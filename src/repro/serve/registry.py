@@ -49,6 +49,17 @@ class ModelEntry:
         self.loaded_at_unix = int(time.time())
         self._fit_detector: Optional[TPGrGAD] = None
         self._fit_lock = threading.Lock()
+        # Serving counters (batch scoring runs in executor threads, so
+        # they take their own lock, not the registry's).
+        self._serve_lock = threading.Lock()
+        self.requests_served = 0
+        self.tape_nodes_total = 0
+
+    def record_served(self, n_requests: int, tape_nodes: int = 0) -> None:
+        """Account scored requests (and autodiff tape growth) to this entry."""
+        with self._serve_lock:
+            self.requests_served += int(n_requests)
+            self.tape_nodes_total += max(0, int(tape_nodes))
 
     @property
     def config_hash(self) -> str:
@@ -73,6 +84,11 @@ class ModelEntry:
             "has_tpgcl": self.state.tpgcl_state is not None,
             "loaded_at_unix": self.loaded_at_unix,
         }
+        with self._serve_lock:
+            info["requests_served"] = self.requests_served
+            info["tape_nodes_total"] = self.tape_nodes_total
+        # Re-loading a name bumps its version, so swaps = version - 1.
+        info["swap_count"] = self.version - 1
         fit = self._fit_detector
         info["fit_cache"] = fit.cache_info() if fit is not None else None
         return info

@@ -36,6 +36,9 @@ import threading
 from typing import Dict, Optional, Tuple
 
 from repro.graph import Graph
+from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.tracer import get_tracer
 from repro.persist import to_native
 from repro.serve.batcher import (
     DeadlineExceededError,
@@ -138,15 +141,21 @@ class ScoringServer:
                     break
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, path, query, headers, body = request
                 loop = asyncio.get_running_loop()
                 started = loop.time()
-                try:
-                    status, payload, extra = await self._dispatch(method, path, body)
-                except _HttpError as error:
-                    status, payload, extra = error.status, {"error": str(error)}, error.headers
-                except Exception as error:  # noqa: BLE001 - last-resort 500
-                    status, payload, extra = 500, {"error": f"internal error: {error}"}, {}
+                tracer = get_tracer()
+                with tracer.span("serve.request", method=method, path=path) as span:
+                    try:
+                        status, payload, extra = await self._dispatch(
+                            method, path, body, query=query, accept=headers.get("accept", "")
+                        )
+                    except _HttpError as error:
+                        status, payload, extra = error.status, {"error": str(error)}, error.headers
+                    except Exception as error:  # noqa: BLE001 - last-resort 500
+                        status, payload, extra = 500, {"error": f"internal error: {error}"}, {}
+                    if tracer.enabled:
+                        span.set("status", status)
                 if path == "/score" and status == 200:
                     payload["latency_ms"] = round((loop.time() - started) * 1e3, 3)
                 self.metrics.record_response(status)
@@ -167,7 +176,9 @@ class ScoringServer:
             except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):  # pragma: no cover
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -191,15 +202,23 @@ class ScoringServer:
         if length > self.config.max_body_bytes:
             raise _HttpError(413, f"body of {length} bytes exceeds the {self.config.max_body_bytes} limit")
         body = await reader.readexactly(length) if length else b""
-        return method, target.split("?", 1)[0], headers, body
+        path, _, query = target.partition("?")
+        return method, path, query, headers, body
 
     @staticmethod
-    def _encode_response(status: int, payload: Dict, extra_headers: Dict[str, str]) -> bytes:
-        body = json.dumps(to_native(payload)).encode()
+    def _encode_response(status: int, payload, extra_headers: Dict[str, str]) -> bytes:
+        # A str payload is pre-rendered text (the Prometheus exposition);
+        # anything else is serialised as JSON through to_native.
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = _PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(to_native(payload)).encode()
+            content_type = "application/json"
         reason = _STATUS_REASONS.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
         ]
         lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
@@ -220,11 +239,16 @@ class ScoringServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict, Dict[str, str]]:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, query: str = "", accept: str = ""
+    ) -> Tuple[int, Dict, Dict[str, str]]:
         if path == "/healthz" and method == "GET":
             return 200, {"status": "ok", "models": self.registry.names()}, {}
         if path == "/metrics" and method == "GET":
-            return 200, self._metrics_payload(), {}
+            payload = self._metrics_payload()
+            if self._wants_prometheus(query, accept):
+                return 200, render_prometheus(payload), {}
+            return 200, payload, {}
         if path == "/models":
             if method == "GET":
                 return 200, self.registry.describe(), {}
@@ -237,10 +261,32 @@ class ScoringServer:
             return 200, await self._score(self._parse_json(body)), {}
         raise _HttpError(404, f"no route for {method} {path}")
 
+    @staticmethod
+    def _wants_prometheus(query: str, accept: str) -> bool:
+        """Content negotiation for ``/metrics``: JSON unless asked otherwise.
+
+        ``?format=prometheus`` always wins; an ``Accept`` header
+        preferring ``text/plain`` (no JSON mentioned) also selects the
+        exposition format, which is how Prometheus itself scrapes.
+        """
+        if "format=prometheus" in query.split("&"):
+            return True
+        accept = accept.lower()
+        return ("text/plain" in accept or "openmetrics" in accept) and "json" not in accept
+
     def _metrics_payload(self) -> Dict:
         payload = self.metrics.snapshot()
         payload["models"] = {
-            row["name"]: {"version": row["version"], "fit_cache": row["fit_cache"]}
+            row["name"]: {
+                "version": row["version"],
+                "swap_count": row["swap_count"],
+                "config_hash": row["config_hash"],
+                "loaded_at_unix": row["loaded_at_unix"],
+                "requests_served": row["requests_served"],
+                "tape_nodes_total": row["tape_nodes_total"],
+                "cache_evictions": (row["fit_cache"] or {}).get("evictions", 0),
+                "fit_cache": row["fit_cache"],
+            }
             for row in self.registry.describe()["models"]
         }
         payload["queue"] = {

@@ -20,9 +20,12 @@ from repro.core import TPGrGADConfig
 from repro.datasets.stream import make_burst_stream, make_event_stream
 from repro.gae import MHGAEConfig
 from repro.gcl import TPGCLConfig
+from repro.obs.logging import get_logger, setup_logging
 from repro.sampling import SamplerConfig
 from repro.stream.incremental import StreamConfig
 from repro.stream.replay import ReplayDriver, replay_event_stream, write_summary_json
+
+log = get_logger("stream")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +71,7 @@ def pipeline_config(args: argparse.Namespace) -> TPGrGADConfig:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging()
     maker = make_burst_stream if args.burst else make_event_stream
     stream = maker(
         dataset=args.dataset,
@@ -76,17 +80,19 @@ def main(argv=None) -> int:
         n_ticks=args.ticks,
         base_edge_fraction=args.base_fraction,
     )
-    print(
-        f"stream '{stream.name}': base {stream.base.n_nodes} nodes / {stream.base.n_edges} edges "
-        f"-> final {stream.final.n_nodes} nodes / {stream.final.n_edges} edges over {stream.n_ticks} ticks"
+    log.info(
+        "stream '%s': base %d nodes / %d edges -> final %d nodes / %d edges over %d ticks",
+        stream.name, stream.base.n_nodes, stream.base.n_edges,
+        stream.final.n_nodes, stream.final.n_edges, stream.n_ticks,
     )
 
     config = None if args.artifact else pipeline_config(args)
     if args.artifact:
-        print(
-            f"using pipeline config stored in artifact '{args.artifact}' "
+        log.info(
+            "using pipeline config stored in artifact '%s' "
             "(--mhgae-epochs/--tpgcl-epochs and the pipeline seed are taken "
-            "from the artifact, not the CLI flags)"
+            "from the artifact, not the CLI flags)",
+            args.artifact,
         )
     stream_config = StreamConfig(refit_policy=args.policy, drift_budget=args.drift_budget)
     driver = ReplayDriver.for_stream(stream, config, stream_config, artifact=args.artifact)
@@ -102,9 +108,9 @@ def main(argv=None) -> int:
         # instead of claiming a fresh fit.
         path = driver.detector.detector.save(args.save_artifact)
         if driver.detector.n_refits > 0:
-            print(f"saved fitted pipeline artifact to {path}")
+            log.info("saved fitted pipeline artifact to %s", path)
         else:
-            print(f"re-exported loaded artifact state to {path} (no refit ran this replay)")
+            log.info("re-exported loaded artifact state to %s (no refit ran this replay)", path)
 
     extra = {}
     if args.compare_refit and args.policy != "always":
@@ -124,7 +130,7 @@ def main(argv=None) -> int:
 
     if args.json:
         write_summary_json(args.json, summaries, extra=extra)
-        print(f"wrote {args.json}")
+        log.info("wrote %s", args.json)
     return 0
 
 

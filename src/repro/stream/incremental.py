@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.config import TPGrGADConfig
 from repro.core.pipeline import TPGrGAD
 from repro.core.result import GroupDetectionResult
+from repro.obs.tracer import get_tracer
 from repro.gcl import TPGCL
 from repro.graph import Graph, Group
 from repro.sampling import CandidateGroupSampler, MultiSourceSearchEngine, SampleCollection
@@ -446,6 +447,22 @@ class IncrementalTPGrGAD:
     # ------------------------------------------------------------------
     def update(self, delta: GraphDelta) -> TickReport:
         """Apply one delta and bring the detection result up to date."""
+        tracer = get_tracer()
+        with tracer.span("stream.tick") as span:
+            tick = self._update(delta)
+            if tracer.enabled:
+                span.set("version", tick.version)
+                span.set("mode", tick.mode)
+                span.set("policy", self.stream_config.refit_policy)
+                span.set("dirty_fraction", round(tick.dirty_fraction, 6))
+                span.add("n_touched", tick.n_touched)
+                span.add("pairs_reused", tick.pairs_reused)
+                span.add("pairs_recomputed", tick.pairs_recomputed)
+                span.add("embeddings_reused", tick.embeddings_reused)
+                span.add("embeddings_recomputed", tick.embeddings_recomputed)
+            return tick
+
+    def _update(self, delta: GraphDelta) -> TickReport:
         start = time.perf_counter()
         report = self.streaming.apply(delta)
         graph = self.graph
@@ -651,9 +668,14 @@ class IncrementalTPGrGAD:
         After this call the result is exactly ``TPGrGAD(config).fit_detect``
         on the final snapshot.
         """
-        if self._dirty_since_refit:
-            self._refit(self.graph)
-        return self.result
+        tracer = get_tracer()
+        with tracer.span("stream.finalize") as span:
+            refit = self._dirty_since_refit
+            if refit:
+                self._refit(self.graph)
+            if tracer.enabled:
+                span.set("refit", refit)
+            return self.result
 
     def update_all(self, deltas: Sequence[GraphDelta]) -> List[TickReport]:
         """Apply a sequence of deltas, one tick each."""

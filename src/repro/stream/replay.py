@@ -147,7 +147,11 @@ class ReplaySummary:
 
     @staticmethod
     def _percentile(values: List[float], q: float) -> float:
-        return float(np.percentile(values, q)) if values else 0.0
+        # Shared with ServerMetrics so replay and serve report identical
+        # percentile math (guarded by tests/test_obs.py).
+        from repro.obs.stats import percentile
+
+        return percentile(values, q)
 
     @property
     def p50_latency(self) -> float:
