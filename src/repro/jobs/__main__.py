@@ -1,0 +1,121 @@
+"""Operate on a durable job store: ``python -m repro.jobs <command>``.
+
+* ``ls --store PATH [--tenant T] [--state S] [--limit N]`` — recent
+  jobs, one line each, plus the per-state summary.
+* ``show JOB_ID --store PATH [--result]`` — full record as JSON;
+  ``--result`` prints the stored response payload instead (the exact
+  ``/score``-shaped document, provenance fields included).
+* ``requeue JOB_ID --store PATH`` — push a failed/cancelled (or
+  expired-lease) job back into the queue.
+* ``gc --store PATH [--max-age-s SEC] [--keep N]`` — prune terminal
+  jobs by age and/or count; queued and running jobs are never touched.
+
+All commands open the store read-write on the given path; WAL mode
+makes this safe while a server is serving from the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.jobs.store import JobStore, UnknownJobError
+from repro.persist import to_native
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jobs",
+        description="Inspect and maintain a durable scoring-job store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ls = commands.add_parser("ls", help="list recent jobs and the state summary")
+    ls.add_argument("--store", required=True, help="sqlite job store path")
+    ls.add_argument("--tenant", default=None)
+    ls.add_argument("--state", default=None, choices=("queued", "running", "done", "failed", "cancelled"))
+    ls.add_argument("--limit", type=int, default=20)
+    ls.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    show = commands.add_parser("show", help="print one job record as JSON")
+    show.add_argument("job_id")
+    show.add_argument("--store", required=True)
+    show.add_argument("--result", action="store_true",
+                      help="print the stored response payload instead of the record")
+
+    requeue = commands.add_parser("requeue", help="push a failed/cancelled job back into the queue")
+    requeue.add_argument("job_id")
+    requeue.add_argument("--store", required=True)
+
+    gc = commands.add_parser("gc", help="prune terminal jobs by age and/or count")
+    gc.add_argument("--store", required=True)
+    gc.add_argument("--max-age-s", type=float, default=None,
+                    help="delete terminal jobs last updated more than SEC seconds ago")
+    gc.add_argument("--keep", type=int, default=None,
+                    help="retain only the newest N terminal jobs")
+    return parser
+
+
+def _cmd_ls(store: JobStore, args: argparse.Namespace) -> int:
+    records = store.list(tenant=args.tenant, state=args.state, limit=args.limit)
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(to_native({
+            "stats": stats, "jobs": [record.describe() for record in records],
+        }), indent=2, sort_keys=True))
+        return 0
+    header = f"{'job_id':<18} {'state':<10} {'tenant':<12} {'model':<12} {'mode':<12} {'att':>3} {'sub':>3}  fingerprint"
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        print(
+            f"{record.job_id:<18} {record.state:<10} {record.tenant:<12} "
+            f"{record.model or '(default)':<12} {record.mode:<12} "
+            f"{record.attempts:>3} {record.submit_count:>3}  {record.graph_fingerprint[:16]}"
+        )
+    states = " ".join(f"{state}={n}" for state, n in stats["states"].items())
+    print(f"{len(records)} shown | {states} | submits={stats['submit_total']} "
+          f"dedup_hits={stats['dedup_hits_total']}")
+    return 0
+
+
+def _cmd_show(store: JobStore, args: argparse.Namespace) -> int:
+    record = store.get(args.job_id)
+    if args.result:
+        if record.result_json is None:
+            print(f"job {record.job_id} is {record.state}: no stored result", file=sys.stderr)
+            return 1
+        print(json.dumps(record.result, indent=2, sort_keys=True))
+        return 0
+    print(json.dumps(to_native(record.describe()), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    with JobStore(args.store) as store:
+        try:
+            if args.command == "ls":
+                return _cmd_ls(store, args)
+            if args.command == "show":
+                return _cmd_show(store, args)
+            if args.command == "requeue":
+                record = store.requeue(args.job_id)
+                print(f"job {record.job_id}: {record.state} (attempts={record.attempts})")
+                return 0
+            deleted = store.gc(max_age_s=args.max_age_s, keep=args.keep)
+            print(f"gc: deleted {deleted} terminal jobs from {store.path}")
+            return 0
+        except UnknownJobError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,30 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             writer.sample(f"repro_queue_{key}", value)
 
+    jobs = snapshot.get("jobs") or {}
+    for key, value in jobs.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            kind = "counter" if key.endswith(_COUNTER_SUFFIX) else "gauge"
+            writer.sample(f"repro_jobs_{key}", value, kind=kind)
+    for state, count in sorted((jobs.get("queue_depth") or {}).items()):
+        writer.sample(
+            "repro_jobs_queue_depth",
+            count,
+            labels={"state": state},
+            help_text="Durable job store depth by state.",
+        )
+    for tenant, counters in sorted((jobs.get("tenants") or {}).items()):
+        for key, value in sorted(counters.items()):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                kind = "counter" if key.endswith(_COUNTER_SUFFIX) else "gauge"
+                writer.sample(
+                    f"repro_jobs_tenant_{key}",
+                    value,
+                    labels={"tenant": tenant},
+                    kind=kind,
+                    help_text="Per-tenant async job activity.",
+                )
+
     for model, info in sorted((snapshot.get("models") or {}).items()):
         labels = {"model": model}
         writer.sample(

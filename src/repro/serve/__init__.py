@@ -17,7 +17,13 @@ from repro.serve.batcher import (
     ServeConfig,
     ShedError,
 )
-from repro.serve.client import DeadlineError, LoadShedError, ScoringClient, ServeError
+from repro.serve.client import (
+    DeadlineError,
+    JobFailedError,
+    LoadShedError,
+    ScoringClient,
+    ServeError,
+)
 from repro.serve.metrics import ServerMetrics
 from repro.serve.registry import ModelEntry, ModelRegistry
 from repro.serve.server import ScoringServer, ServerHandle, start_server_thread
@@ -25,6 +31,7 @@ from repro.serve.server import ScoringServer, ServerHandle, start_server_thread
 __all__ = [
     "DeadlineError",
     "DeadlineExceededError",
+    "JobFailedError",
     "LoadShedError",
     "MicroBatcher",
     "ModelEntry",

@@ -7,16 +7,26 @@ defaults to the directory's basename; the first one becomes the default
 model) or ``--artifact NAME=PATH``.  More models can be loaded — or
 existing ones hot-swapped — at runtime via ``POST /models``.
 
+``--job-store PATH`` additionally enables the durable async job API
+(``POST /jobs`` + friends) backed by a sqlite store at PATH, drained by
+``--job-workers`` asyncio workers through the same micro-batcher.
+
 Operational events (model loads, bind address, shutdown) go through
 :mod:`repro.obs.logging`, so each line carries the active trace id when
 ``--trace`` is on.  ``--provenance-log PATH`` appends one provenance
 record per scored response; ``python -m repro.obs verify`` replays them.
+
+SIGTERM and SIGINT trigger a *graceful drain*: the listener closes, every
+already-admitted request is answered, claimed jobs are released back to
+``queued`` for the next boot, and the sqlite store is closed cleanly.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import signal
 import sys
 from pathlib import Path
 from typing import List, Tuple
@@ -66,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--provenance-include-graph", action="store_true",
                         help="embed the scored graph in each provenance record "
                              "(self-contained replay via `python -m repro.obs verify`)")
+    parser.add_argument("--job-store", metavar="PATH", default=None,
+                        help="sqlite path for the durable async job API (enables POST /jobs)")
+    parser.add_argument("--job-workers", type=int, default=1,
+                        help="asyncio workers draining the job queue (default 1)")
+    parser.add_argument("--job-lease-ttl-s", type=float, default=30.0,
+                        help="claim lease TTL; crashed workers' jobs requeue after this")
+    parser.add_argument("--job-max-attempts", type=int, default=3,
+                        help="attempts before a job is marked failed permanently")
+    parser.add_argument("--job-max-queued", type=int, default=64,
+                        help="per-tenant queued-job quota (429 above it)")
+    parser.add_argument("--job-max-running", type=int, default=8,
+                        help="per-tenant running-job cap enforced at claim time")
     parser.add_argument("--log-level", default="INFO",
                         help="stdlib logging level for operational events (default INFO)")
     return parser
@@ -90,6 +112,12 @@ async def _serve(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         provenance_path=args.provenance_log,
         provenance_include_graph=args.provenance_include_graph,
+        job_store_path=args.job_store,
+        job_workers=args.job_workers,
+        job_lease_ttl_s=args.job_lease_ttl_s,
+        job_max_attempts=args.job_max_attempts,
+        job_max_queued=args.job_max_queued,
+        job_max_running=args.job_max_running,
     )
     tracer = None
     if args.trace:
@@ -102,19 +130,44 @@ async def _serve(args: argparse.Namespace) -> int:
     server = ScoringServer(registry, config)
     port = await server.start(args.host, args.port)
     log.info(
-        "serving on http://%s:%d (POST /score, GET /models, GET /healthz, GET /metrics; "
+        "serving on http://%s:%d (POST /score, GET /models, GET /healthz, GET /metrics%s; "
         "max_batch=%d, max_wait_ms=%s)",
-        args.host, port, config.max_batch, config.max_wait_ms,
+        args.host, port, ", POST /jobs" if args.job_store else "",
+        config.max_batch, config.max_wait_ms,
     )
+
+    # Graceful drain on SIGTERM/SIGINT: finish admitted work, release job
+    # claims, close sqlite — then fall out of serve_forever.
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_event.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-Unix
+            pass
+
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    stop_task = asyncio.ensure_future(stop_event.wait())
     try:
-        await server.serve_forever()
-    except asyncio.CancelledError:  # pragma: no cover - signal-driven teardown
+        await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+        if stop_event.is_set():
+            log.info("signal received: draining in-flight work before shutdown")
+    except asyncio.CancelledError:  # pragma: no cover - external cancellation
         pass
     finally:
-        await server.stop()
+        for task in (serve_task, stop_task):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.stop(drain=True)
         if tracer is not None:
             tracer.dump_jsonl(args.trace)
             log.info("wrote %d spans to %s", len(tracer.spans), args.trace)
+        log.info("shutdown complete")
     return 0
 
 

@@ -90,6 +90,15 @@ class ServeConfig:
     ``provenance_include_graph`` embeds the scored graph in each record,
     making the log self-contained for offline replay verification (at
     the cost of log size).
+
+    ``job_store_path`` turns on the durable async batch API (see
+    :mod:`repro.jobs`): ``POST /jobs`` submissions are persisted to a
+    WAL-mode sqlite store and drained through this same micro-batcher by
+    ``job_workers`` lease-holding worker tasks.  ``job_max_queued`` /
+    ``job_max_running`` are the *per-tenant* quotas (tenants are
+    identified by the ``X-API-Key`` request header), and
+    ``job_lease_ttl_s`` bounds how long a crashed worker can hold a job
+    before it is requeued.
     """
 
     max_batch: int = 16
@@ -102,6 +111,14 @@ class ServeConfig:
     max_body_bytes: int = 64 * 1024 * 1024
     provenance_path: Optional[str] = None
     provenance_include_graph: bool = False
+    job_store_path: Optional[str] = None
+    job_workers: int = 1
+    job_claim_batch: int = 8
+    job_lease_ttl_s: float = 30.0
+    job_poll_interval_s: float = 0.05
+    job_max_attempts: int = 3
+    job_max_queued: int = 64
+    job_max_running: int = 8
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -110,6 +127,15 @@ class ServeConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if self.job_workers < 1:
+            raise ValueError("job_workers must be >= 1")
+        if self.job_lease_ttl_s <= 0:
+            raise ValueError("job_lease_ttl_s must be > 0")
+
+
+#: Queue sentinel: a drain-stop was requested; the scheduler finishes
+#: everything admitted before it, then exits cleanly.
+_STOP = object()
 
 
 @dataclass
@@ -142,21 +168,46 @@ class MicroBatcher:
         )
         self._queue: Optional["asyncio.Queue[_Pending]"] = None
         self._task: Optional["asyncio.Task"] = None
+        self._stopping = False
+        self._drain_seen = False
 
     # ------------------------------------------------------------------
     # Lifecycle (call from the event loop)
     # ------------------------------------------------------------------
     async def start(self) -> None:
         self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._stopping = False
+        self._drain_seen = False
         self._task = asyncio.get_running_loop().create_task(self._run())
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = False, drain_timeout_s: float = 60.0) -> None:
+        """Stop the scheduler.
+
+        ``drain=False`` (the default) cancels immediately — in-flight
+        futures are abandoned, matching pre-drain behaviour.
+        ``drain=True`` is the graceful path: admission is closed (new
+        submits shed), every already-admitted request is scored and
+        answered, and only then does the scheduler exit.  A wedged batch
+        falls back to cancellation after ``drain_timeout_s``.
+        """
         if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except asyncio.CancelledError:
-                pass
+            if drain and self._queue is not None:
+                self._stopping = True  # sheds new submissions immediately
+                await self._queue.put(_STOP)
+                try:
+                    await asyncio.wait_for(asyncio.shield(self._task), drain_timeout_s)
+                except asyncio.TimeoutError:  # pragma: no cover - wedged batch
+                    self._task.cancel()
+                    try:
+                        await self._task
+                    except asyncio.CancelledError:
+                        pass
+            else:
+                self._task.cancel()
+                try:
+                    await self._task
+                except asyncio.CancelledError:
+                    pass
             self._task = None
         if self.provenance is not None:
             self.provenance.close()
@@ -180,6 +231,8 @@ class MicroBatcher:
         """
         if self._queue is None:
             raise RuntimeError("MicroBatcher.start() has not run")
+        if self._stopping:
+            raise ShedError(self.config.retry_after_s)
         if mode not in MODES:
             raise RequestError(400, f"unknown mode {mode!r}; expected one of {MODES}")
         if timeout_ms is None:
@@ -205,9 +258,19 @@ class MicroBatcher:
     # The scheduler loop
     # ------------------------------------------------------------------
     async def _collect_batch(self) -> List[_Pending]:
-        """Block for the first request, then coalesce up to the batch bounds."""
+        """Block for the first request, then coalesce up to the batch bounds.
+
+        Seeing the drain sentinel sets ``_drain_seen`` and ends the
+        collection immediately: the sentinel was enqueued *after* every
+        admitted request (FIFO), so once it surfaces nothing admitted
+        before the stop can still be waiting.
+        """
         assert self._queue is not None
-        batch = [await self._queue.get()]
+        first = await self._queue.get()
+        if first is _STOP:
+            self._drain_seen = True
+            return []
+        batch = [first]
         budget = self.config.max_wait_ms / 1e3
         loop = asyncio.get_running_loop()
         deadline = loop.time() + budget
@@ -217,20 +280,26 @@ class MicroBatcher:
                 # Budget spent: still sweep whatever is already queued —
                 # leaving ready requests behind would only split batches.
                 try:
-                    batch.append(self._queue.get_nowait())
-                    continue
+                    item = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
-            try:
-                batch.append(await asyncio.wait_for(self._queue.get(), remaining))
-            except asyncio.TimeoutError:
+            else:
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item is _STOP:
+                self._drain_seen = True
                 break
+            batch.append(item)
         return batch
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             batch = await self._collect_batch()
+            if not batch and self._drain_seen:
+                return
             # Score in a worker thread so /healthz and admission stay
             # responsive during a long batch; the loop itself remains the
             # single consumer, so batches never overlap.  The batch span
@@ -252,6 +321,8 @@ class MicroBatcher:
                 else:
                     self.metrics.record_scored(now - pending.enqueued_at)
                     pending.future.set_result(outcome)
+            if self._drain_seen:
+                return
 
     # ------------------------------------------------------------------
     # Batch scoring (runs in an executor thread)
@@ -347,9 +418,7 @@ class MicroBatcher:
         scored: List[Tuple[_Pending, Dict]] = []
         for pending, key in zip(members, keys):
             response = {
-                "model": entry.name,
-                "version": entry.version,
-                "config_hash": entry.config_hash,
+                **entry.identity(),
                 "mode": mode,
                 "graph_fingerprint": key,
                 "batch": {"size": batch_size, "group_size": len(members), "n_unique": len(graphs)},

@@ -45,6 +45,19 @@ class ServerMetrics:
         self.batch_size_histogram: Dict[int, int] = {}
         # (completed_at_monotonic, seconds) pairs; bounded.
         self._latencies = LatencyWindow(maxlen=latency_window)
+        # --- async batch jobs (repro.jobs) -----------------------------
+        self.jobs_submitted_total = 0  # accepted POST /jobs (incl. dedup hits)
+        self.jobs_deduplicated_total = 0  # submissions answered by an existing job
+        self.jobs_completed_total = 0
+        self.jobs_failed_total = 0  # permanent failures (retries exhausted)
+        self.jobs_cancelled_total = 0
+        self.jobs_quota_shed_total = 0  # 429: tenant queued-quota hit
+        self.jobs_backpressure_total = 0  # claims released: interactive queue full
+        # tenant -> counter-name -> count (tenant cardinality is bounded
+        # by the quota policy's audience, not request content).
+        self._job_tenants: Dict[str, Dict[str, int]] = {}
+        self._job_wait = LatencyWindow(maxlen=latency_window)  # queued -> claimed
+        self._job_run = LatencyWindow(maxlen=latency_window)  # claimed -> finished
 
     # ------------------------------------------------------------------
     # Recording
@@ -83,6 +96,74 @@ class ServerMetrics:
             self.batch_size_histogram[n_requests] = (
                 self.batch_size_histogram.get(n_requests, 0) + 1
             )
+
+    # ------------------------------------------------------------------
+    # Recording: async batch jobs
+    # ------------------------------------------------------------------
+    def _tenant_bump(self, tenant: str, key: str, by: int = 1) -> None:
+        row = self._job_tenants.setdefault(str(tenant), {})
+        row[key] = row.get(key, 0) + by
+
+    def record_job_submitted(self, tenant: str, deduplicated: bool = False) -> None:
+        with self._lock:
+            self.jobs_submitted_total += 1
+            self._tenant_bump(tenant, "submitted_total")
+            if deduplicated:
+                self.jobs_deduplicated_total += 1
+                self._tenant_bump(tenant, "deduplicated_total")
+
+    def record_job_quota_shed(self, tenant: str) -> None:
+        with self._lock:
+            self.jobs_quota_shed_total += 1
+            self._tenant_bump(tenant, "quota_shed_total")
+
+    def record_job_completed(self, tenant: str, wait_seconds: float, run_seconds: float) -> None:
+        with self._lock:
+            self.jobs_completed_total += 1
+            self._tenant_bump(tenant, "completed_total")
+            now = time.monotonic()
+            self._job_wait.record(float(wait_seconds), at=now)
+            self._job_run.record(float(run_seconds), at=now)
+
+    def record_job_failed(self, tenant: str) -> None:
+        with self._lock:
+            self.jobs_failed_total += 1
+            self._tenant_bump(tenant, "failed_total")
+
+    def record_job_cancelled(self, tenant: str) -> None:
+        with self._lock:
+            self.jobs_cancelled_total += 1
+            self._tenant_bump(tenant, "cancelled_total")
+
+    def record_job_backpressure(self) -> None:
+        with self._lock:
+            self.jobs_backpressure_total += 1
+
+    def job_snapshot(self) -> Dict:
+        """The counters/latency half of the ``/metrics`` ``jobs`` section.
+
+        The server layer merges in the store-derived half (queue depth
+        per state, per-tenant queued/running gauges) so the JSON and
+        Prometheus views always agree on one payload.
+        """
+        with self._lock:
+            wait = {f"wait_{k.split('_', 1)[0]}_ms": v
+                    for k, v in self._job_wait.percentiles_ms((50, 95)).items()}
+            run = {f"run_{k.split('_', 1)[0]}_ms": v
+                   for k, v in self._job_run.percentiles_ms((50, 95)).items()}
+            payload: Dict = {
+                "submitted_total": self.jobs_submitted_total,
+                "deduplicated_total": self.jobs_deduplicated_total,
+                "completed_total": self.jobs_completed_total,
+                "failed_total": self.jobs_failed_total,
+                "cancelled_total": self.jobs_cancelled_total,
+                "quota_shed_total": self.jobs_quota_shed_total,
+                "backpressure_total": self.jobs_backpressure_total,
+                "tenants": {tenant: dict(row) for tenant, row in sorted(self._job_tenants.items())},
+            }
+            payload.update(wait)
+            payload.update(run)
+        return payload
 
     # ------------------------------------------------------------------
     # Read-out

@@ -65,6 +65,14 @@ class ModelEntry:
     def config_hash(self) -> str:
         return self.state.config_hash()
 
+    def identity(self) -> Dict:
+        """The attribution triple every scoring surface echoes.
+
+        Shared by ``/score`` responses, job dedup keys and job records,
+        so the three can never disagree about which artifact answered.
+        """
+        return {"model": self.name, "version": self.version, "config_hash": self.config_hash}
+
     @property
     def fit_detector(self) -> TPGrGAD:
         with self._fit_lock:

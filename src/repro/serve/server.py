@@ -21,7 +21,20 @@ Endpoints
     Liveness + the loaded model names (cheap: never touches the scorer).
 ``GET /metrics``
     JSON counters: qps, batch-size histogram, latency percentiles, shed
-    count, plus each model's pipeline cache statistics.
+    count, plus each model's pipeline cache statistics (and, with a job
+    store configured, the ``jobs`` section: queue depth, per-tenant
+    counters, wait/run latency percentiles).
+``POST /jobs`` / ``GET /jobs`` / ``GET /jobs/{id}`` /
+``GET /jobs/{id}/result`` / ``DELETE /jobs/{id}``
+    The durable async batch API (requires ``ServeConfig.job_store_path``;
+    see :mod:`repro.jobs`).  Submissions are deduplicated by full input
+    identity and quota-bounded per tenant — the tenant is the
+    ``X-API-Key`` request header (fallback: a ``tenant`` body field,
+    then ``"public"``).  ``POST`` answers ``202`` for a newly queued job
+    and ``200`` when deduplicated onto an existing one; quota violations
+    get the same ``429`` + ``Retry-After`` treatment as load shedding.
+    Stored results are the exact ``/score`` response payload, so
+    ``python -m repro.obs verify`` replays them bit-for-bit.
 
 Every response body is JSON serialised through
 :func:`repro.persist.to_native`, so numpy scalars from any layer can
@@ -33,14 +46,18 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import urllib.parse
 from typing import Dict, Optional, Tuple
 
 from repro.graph import Graph
+from repro.jobs.store import JobStore, QuotaExceededError, TenantQuota, UnknownJobError
+from repro.jobs.worker import JobWorkerPool
 from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
 from repro.obs.tracer import get_tracer
 from repro.persist import to_native
 from repro.serve.batcher import (
+    MODES,
     DeadlineExceededError,
     MicroBatcher,
     RequestError,
@@ -52,12 +69,16 @@ from repro.serve.registry import ModelRegistry
 
 _STATUS_REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -82,6 +103,18 @@ class ScoringServer:
         self.config = config or ServeConfig()
         self.metrics = metrics or ServerMetrics()
         self.batcher = MicroBatcher(registry, self.config, self.metrics)
+        self.job_store: Optional[JobStore] = (
+            JobStore(
+                self.config.job_store_path,
+                quota=TenantQuota(
+                    max_queued=self.config.job_max_queued,
+                    max_running=self.config.job_max_running,
+                ),
+            )
+            if self.config.job_store_path
+            else None
+        )
+        self.job_pool: Optional[JobWorkerPool] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self.host: Optional[str] = None
@@ -98,6 +131,18 @@ class ScoringServer:
         """
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         await self.batcher.start()
+        if self.job_store is not None:
+            self.job_pool = JobWorkerPool(
+                self.job_store,
+                self.batcher,
+                self.metrics,
+                n_workers=self.config.job_workers,
+                claim_batch=self.config.job_claim_batch,
+                lease_ttl_s=self.config.job_lease_ttl_s,
+                poll_interval_s=self.config.job_poll_interval_s,
+                max_attempts=self.config.job_max_attempts,
+            )
+            await self.job_pool.start()
         self.host = host
         self.port = int(self._server.sockets[0].getsockname()[1])
         return self.port
@@ -107,11 +152,21 @@ class ScoringServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = False) -> None:
+        """Tear the service down; ``drain=True`` is the graceful path.
+
+        Graceful order: stop accepting connections, stop the job workers
+        (claimed-but-unscored jobs go back to ``queued`` — the lease
+        release), drain the micro-batcher so every admitted request is
+        answered, then close the sqlite store cleanly.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.job_pool is not None:
+            await self.job_pool.stop()
+            self.job_pool = None
         # Idle keep-alive connections block on readline forever; cancel
         # them so shutdown never hangs on a client that forgot to close.
         for task in list(self._connections):
@@ -119,7 +174,9 @@ class ScoringServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
-        await self.batcher.stop()
+        await self.batcher.stop(drain=drain)
+        if self.job_store is not None:
+            self.job_store.close()
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -148,7 +205,7 @@ class ScoringServer:
                 with tracer.span("serve.request", method=method, path=path) as span:
                     try:
                         status, payload, extra = await self._dispatch(
-                            method, path, body, query=query, accept=headers.get("accept", "")
+                            method, path, body, query=query, headers=headers
                         )
                     except _HttpError as error:
                         status, payload, extra = error.status, {"error": str(error)}, error.headers
@@ -240,13 +297,14 @@ class ScoringServer:
     # Routing
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes, query: str = "", accept: str = ""
+        self, method: str, path: str, body: bytes, query: str = "", headers: Optional[Dict[str, str]] = None
     ) -> Tuple[int, Dict, Dict[str, str]]:
+        headers = headers or {}
         if path == "/healthz" and method == "GET":
             return 200, {"status": "ok", "models": self.registry.names()}, {}
         if path == "/metrics" and method == "GET":
             payload = self._metrics_payload()
-            if self._wants_prometheus(query, accept):
+            if self._wants_prometheus(query, headers.get("accept", "")):
                 return 200, render_prometheus(payload), {}
             return 200, payload, {}
         if path == "/models":
@@ -259,6 +317,14 @@ class ScoringServer:
             if method != "POST":
                 raise _HttpError(405, f"{method} not allowed on /score")
             return 200, await self._score(self._parse_json(body)), {}
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit_job(self._parse_json(body), headers)
+            if method == "GET":
+                return 200, self._list_jobs(query), {}
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+        if path.startswith("/jobs/"):
+            return self._job_route(method, path)
         raise _HttpError(404, f"no route for {method} {path}")
 
     @staticmethod
@@ -294,6 +360,20 @@ class ScoringServer:
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
         }
+        if self.job_store is not None:
+            jobs = self.metrics.job_snapshot()
+            jobs["queue_depth"] = self.job_store.counts()
+            tenants = jobs.get("tenants", {})
+            for tenant in self.job_store.tenants():
+                depth = self.job_store.counts(tenant)
+                row = tenants.setdefault(tenant, {})
+                row["queued"] = depth["queued"]
+                row["running"] = depth["running"]
+            jobs["quota"] = {
+                "max_queued": self.config.job_max_queued,
+                "max_running": self.config.job_max_running,
+            }
+            payload["jobs"] = jobs
         return payload
 
     async def _load_model(self, payload: Dict) -> Dict:
@@ -315,21 +395,28 @@ class ScoringServer:
             raise _HttpError(400, str(error)) from None
         return entry.describe()
 
-    async def _score(self, payload: Dict) -> Dict:
+    @staticmethod
+    def _parse_graph(payload: Dict, endpoint: str) -> Graph:
         graph_payload = payload.get("graph")
         if not isinstance(graph_payload, dict):
-            raise _HttpError(400, "POST /score requires a 'graph' object (Graph.to_json_dict())")
+            raise _HttpError(400, f"POST {endpoint} requires a 'graph' object (Graph.to_json_dict())")
         try:
-            graph = Graph.from_json_dict(graph_payload)
+            return Graph.from_json_dict(graph_payload)
         except (ValueError, TypeError) as error:
             raise _HttpError(400, f"invalid graph payload: {error}") from None
+
+    @staticmethod
+    def _parse_number(payload: Dict, key: str) -> Optional[float]:
+        value = payload.get(key)
         try:
-            threshold = payload.get("threshold")
-            threshold = None if threshold is None else float(threshold)
-            timeout_ms = payload.get("timeout_ms")
-            timeout_ms = None if timeout_ms is None else float(timeout_ms)
+            return None if value is None else float(value)
         except (TypeError, ValueError):
-            raise _HttpError(400, "'threshold' and 'timeout_ms' must be numbers") from None
+            raise _HttpError(400, f"'{key}' must be a number") from None
+
+    async def _score(self, payload: Dict) -> Dict:
+        graph = self._parse_graph(payload, "/score")
+        threshold = self._parse_number(payload, "threshold")
+        timeout_ms = self._parse_number(payload, "timeout_ms")
         try:
             future = self.batcher.submit(
                 graph,
@@ -347,6 +434,118 @@ class ScoringServer:
             raise _HttpError(504, str(error)) from None
         except RequestError as error:
             raise _HttpError(error.status, str(error)) from None
+
+    # ------------------------------------------------------------------
+    # Async batch jobs (requires ServeConfig.job_store_path)
+    # ------------------------------------------------------------------
+    def _jobs_store(self) -> JobStore:
+        if self.job_store is None:
+            raise _HttpError(503, "no job store configured; start the server with --job-store PATH")
+        return self.job_store
+
+    @staticmethod
+    def _tenant_of(payload: Dict, headers: Dict[str, str]) -> str:
+        return headers.get("x-api-key") or str(payload.get("tenant") or "public")
+
+    def _submit_job(self, payload: Dict, headers: Dict[str, str]) -> Tuple[int, Dict, Dict[str, str]]:
+        store = self._jobs_store()
+        tenant = self._tenant_of(payload, headers)
+        mode = payload.get("mode", "detect_only")
+        if mode not in MODES:
+            raise _HttpError(400, f"unknown mode {mode!r}; expected one of {MODES}")
+        graph = self._parse_graph(payload, "/jobs")
+        threshold = self._parse_number(payload, "threshold")
+        try:
+            entry = self.registry.get(payload.get("model"))
+        except KeyError as error:
+            raise _HttpError(404, str(error)) from None
+        try:
+            outcome = store.submit(
+                tenant=tenant,
+                model=entry.name,
+                model_version=entry.version,
+                config_hash=entry.config_hash,
+                mode=mode,
+                threshold=threshold,
+                graph_fingerprint=graph.fingerprint(),
+                graph_json=json.dumps(to_native(graph.to_json_dict()), sort_keys=True),
+            )
+        except QuotaExceededError as error:
+            self.metrics.record_job_quota_shed(tenant)
+            raise _HttpError(
+                429, str(error), headers={"Retry-After": f"{error.retry_after_s:.0f}"}
+            ) from None
+        self.metrics.record_job_submitted(tenant, deduplicated=not outcome.created)
+        body = outcome.record.describe()
+        body["deduplicated"] = not outcome.created
+        body["revived"] = outcome.revived
+        return (202 if outcome.created else 200), body, {}
+
+    def _get_job(self, job_id: str):
+        try:
+            return self._jobs_store().get(job_id)
+        except UnknownJobError as error:
+            raise _HttpError(404, str(error)) from None
+
+    def _job_route(self, method: str, path: str) -> Tuple[int, Dict, Dict[str, str]]:
+        rest = path[len("/jobs/"):]
+        job_id, slash, tail = rest.partition("/")
+        if not job_id:
+            raise _HttpError(404, f"no route for {method} {path}")
+        if slash:
+            if tail != "result":
+                raise _HttpError(404, f"no route for {method} {path}")
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on /jobs/{{id}}/result")
+            return self._job_result(job_id)
+        if method == "GET":
+            return 200, self._get_job(job_id).describe(), {}
+        if method == "DELETE":
+            return self._cancel_job(job_id)
+        raise _HttpError(405, f"{method} not allowed on /jobs/{{id}}")
+
+    def _job_result(self, job_id: str) -> Tuple[int, Dict, Dict[str, str]]:
+        record = self._get_job(job_id)
+        if record.state == "done":
+            return 200, {"job_id": record.job_id, "state": "done", "response": record.result}, {}
+        if record.state == "failed":
+            return 500, {
+                "job_id": record.job_id, "state": "failed",
+                "error": record.error, "attempts": record.attempts,
+            }, {}
+        if record.state == "cancelled":
+            return 410, {"job_id": record.job_id, "state": "cancelled"}, {}
+        # queued / running: not an error, just not done yet — poll again.
+        return 409, {"job_id": record.job_id, "state": record.state}, {"Retry-After": "1"}
+
+    def _cancel_job(self, job_id: str) -> Tuple[int, Dict, Dict[str, str]]:
+        store = self._jobs_store()
+        try:
+            record = store.cancel(job_id)
+        except UnknownJobError as error:
+            raise _HttpError(404, str(error)) from None
+        except ValueError as error:
+            raise _HttpError(409, str(error)) from None
+        self.metrics.record_job_cancelled(record.tenant)
+        return 200, record.describe(), {}
+
+    def _list_jobs(self, query: str) -> Dict:
+        store = self._jobs_store()
+        params = urllib.parse.parse_qs(query)
+        tenant = params.get("tenant", [None])[0]
+        state = params.get("state", [None])[0]
+        try:
+            limit = int(params.get("limit", ["100"])[0])
+        except ValueError:
+            raise _HttpError(400, "'limit' must be an integer") from None
+        try:
+            records = store.list(tenant=tenant, state=state, limit=limit)
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from None
+        return {
+            "jobs": [record.describe() for record in records],
+            "counts": store.counts(tenant),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -369,11 +568,15 @@ class ServerHandle:
         assert self.server.port is not None
         return self.server.port
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Stop the server and join the loop thread (idempotent)."""
+    def stop(self, timeout: float = 10.0, drain: bool = False) -> None:
+        """Stop the server and join the loop thread (idempotent).
+
+        ``drain=True`` runs the graceful path: admitted requests are
+        answered and claimed jobs released before the loop exits.
+        """
         if not self._thread.is_alive():
             return
-        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(timeout)
+        asyncio.run_coroutine_threadsafe(self.server.stop(drain=drain), self._loop).result(timeout)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout)
 
